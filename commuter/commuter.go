@@ -1,0 +1,112 @@
+// Package commuter is the public API of the COMMUTER toolchain (§5 of "The
+// Scalable Commutativity Rule", SOSP 2013): ANALYZER computes the
+// conditions under which modeled POSIX operations commute, TESTGEN turns
+// those conditions into concrete test cases with conflict coverage, and the
+// MTRACE-style checker decides whether a kernel implementation is
+// conflict-free — and hence scalable on MESI-like hardware — for each test.
+//
+// The typical pipeline:
+//
+//	pair := commuter.Analyze("rename", "rename", commuter.Options{})
+//	tests := commuter.GenerateTests(pair, commuter.GenOptions{})
+//	for _, tc := range tests {
+//		res, _ := commuter.Check(commuter.NewSv6, tc)
+//		fmt.Println(tc.ID, res.ConflictFree)
+//	}
+//
+// Package commuter also exposes the evaluation drivers that regenerate the
+// paper's Figure 6 matrices and Figure 7 throughput curves.
+package commuter
+
+import (
+	"repro/internal/analyzer"
+	"repro/internal/eval"
+	"repro/internal/kernel"
+	"repro/internal/kernel/monokernel"
+	"repro/internal/kernel/svsix"
+	"repro/internal/model"
+	"repro/internal/testgen"
+)
+
+// Re-exported core types. See the internal packages for full documentation.
+type (
+	// PairResult holds the per-path commutativity analysis of one pair.
+	PairResult = analyzer.PairResult
+	// PairPath is one joint symbolic path with its commute condition.
+	PairPath = analyzer.PairPath
+	// Options tunes ANALYZER.
+	Options = analyzer.Options
+	// GenOptions tunes TESTGEN.
+	GenOptions = testgen.Options
+	// TestCase is one concrete commutative test.
+	TestCase = kernel.TestCase
+	// Setup is a test case's concrete initial state.
+	Setup = kernel.Setup
+	// Call is one concrete system call.
+	Call = kernel.Call
+	// Result is a system call result.
+	Result = kernel.Result
+	// CheckResult is the MTRACE verdict for one test on one kernel.
+	CheckResult = kernel.CheckResult
+	// Kernel is the system-call surface both implementations provide.
+	Kernel = kernel.Kernel
+	// ModelConfig selects specification variants (e.g. the lowest-FD rule).
+	ModelConfig = model.Config
+	// Curve is a Figure 7 throughput series.
+	Curve = eval.Curve
+	// Matrix is a Figure 6 conflict matrix.
+	Matrix = eval.Matrix
+)
+
+// OpNames returns the 18 modeled POSIX operations in Figure 6 order.
+func OpNames() []string {
+	var out []string
+	for _, op := range model.Ops() {
+		out = append(out, op.Name)
+	}
+	return out
+}
+
+// Analyze computes the commutativity conditions of an operation pair.
+func Analyze(opA, opB string, opt Options) PairResult {
+	a, b := model.OpByName(opA), model.OpByName(opB)
+	if a == nil || b == nil {
+		panic("commuter: unknown operation " + opA + "/" + opB)
+	}
+	return analyzer.AnalyzePair(a, b, opt)
+}
+
+// GenerateTests converts an analysis into concrete test cases.
+func GenerateTests(pr PairResult, opt GenOptions) []TestCase {
+	return testgen.Generate(pr, opt)
+}
+
+// NewLinux returns a fresh Linux-3.8-like baseline kernel.
+func NewLinux() Kernel { return monokernel.New() }
+
+// NewSv6 returns a fresh sv6-like kernel (ScaleFS + RadixVM designs).
+func NewSv6() Kernel { return svsix.New() }
+
+// Check runs one test case against fresh kernels from the constructor and
+// reports conflict-freedom plus a commutativity sanity check.
+func Check(fresh func() Kernel, tc TestCase) (CheckResult, error) {
+	return kernel.Check(fresh, tc)
+}
+
+// Statbench, Openbench and Mailbench regenerate the Figure 7 curves on the
+// coherence simulator. See package eval for the modes.
+var (
+	Statbench    = eval.Statbench
+	Openbench    = eval.Openbench
+	Mailbench    = eval.Mailbench
+	FormatCurves = eval.FormatCurves
+	FormatMatrix = eval.FormatMatrix
+	DefaultCores = eval.DefaultCores
+)
+
+// Statbench modes (Figure 7a).
+const (
+	StatFstatx   = eval.StatFstatx
+	StatRefcache = eval.StatRefcache
+	StatShared   = eval.StatShared
+)

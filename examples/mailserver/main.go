@@ -1,0 +1,56 @@
+// Mailserver runs the §7.3 application workload with regular and
+// commutative APIs, showing the conflict reports and the simulated
+// scalability curves that reproduce Figure 7(c)'s shape.
+//
+//	go run ./examples/mailserver
+package main
+
+import (
+	"fmt"
+
+	"repro/commuter"
+	"repro/internal/mail"
+)
+
+func main() {
+	fmt.Println("== qmail-like mail server (§7.3) ==")
+	for _, commutative := range []bool{false, true} {
+		cfg := "regular APIs (lowest FD, ordered socket, fork)"
+		if commutative {
+			cfg = "commutative APIs (O_ANYFD, unordered socket, posix_spawn)"
+		}
+		fmt.Printf("\n-- %s --\n", cfg)
+		s := mail.NewServer(mail.Config{Commutative: commutative})
+		// Warm up, then trace one message pipeline on each of two cores.
+		for core := 0; core < 2; core++ {
+			if err := s.DeliverOne(core); err != nil {
+				panic(err)
+			}
+		}
+		s.Memory().Start()
+		for core := 0; core < 2; core++ {
+			if err := s.DeliverOne(core); err != nil {
+				panic(err)
+			}
+		}
+		s.Memory().Stop()
+		conflicts := s.Memory().Conflicts()
+		if len(conflicts) == 0 {
+			fmt.Println("two cores delivering concurrently: conflict-free")
+		} else {
+			fmt.Println("two cores delivering concurrently share:")
+			for _, c := range conflicts {
+				fmt.Printf("  %s\n", c.CellName)
+			}
+		}
+	}
+
+	cores := []int{1, 2, 4, 8, 16, 32, 64, 80}
+	fmt.Println()
+	fmt.Println(commuter.FormatCurves(
+		"Figure 7(c) shape: mail throughput (messages/Mcycle/core)",
+		[]commuter.Curve{
+			commuter.Mailbench(true, cores),
+			commuter.Mailbench(false, cores),
+		}))
+}

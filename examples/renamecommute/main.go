@@ -1,0 +1,60 @@
+// Renamecommute reproduces §5.1's worked example: the commutativity
+// conditions of two rename calls, the concrete test cases TESTGEN derives
+// (the paper's Figure 5 shows one), and both kernels' conflict verdicts.
+//
+//	go run ./examples/renamecommute
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/commuter"
+)
+
+func main() {
+	fmt.Println("== rename(a,b) x rename(c,d) (§5.1, Figure 4 model) ==")
+	pair := commuter.Analyze("rename", "rename", commuter.Options{})
+	fmt.Println(pair.Summary())
+	fmt.Println()
+
+	// The paper lists six classes of commutative situations; spot-check
+	// the headline one with concrete tests.
+	tests := commuter.GenerateTests(pair, commuter.GenOptions{MaxTestsPerPath: 3})
+	fmt.Printf("TESTGEN produced %d test cases; a sample with kernel verdicts:\n\n", len(tests))
+
+	shown := 0
+	for _, tc := range tests {
+		if shown >= 6 {
+			break
+		}
+		shown++
+		fmt.Printf("%s\n", tc.ID)
+		for _, f := range tc.Setup.Files {
+			fmt.Printf("   setup: %s -> inode %d\n", f.Name, f.Inum)
+		}
+		fmt.Printf("   op0: %v\n   op1: %v\n", tc.Calls[0], tc.Calls[1])
+		for _, newK := range []struct {
+			name  string
+			fresh func() commuter.Kernel
+		}{{"linux", commuter.NewLinux}, {"sv6", commuter.NewSv6}} {
+			res, err := commuter.Check(newK.fresh, tc)
+			if err != nil {
+				fmt.Printf("   %-5s: error: %v\n", newK.name, err)
+				continue
+			}
+			if res.ConflictFree {
+				fmt.Printf("   %-5s: conflict-free\n", newK.name)
+			} else {
+				var cells []string
+				for _, c := range res.Conflicts {
+					cells = append(cells, c.CellName)
+				}
+				fmt.Printf("   %-5s: conflicts on %s\n", newK.name, strings.Join(cells, ", "))
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println("Linux's directory lock serializes every rename; sv6's per-bucket")
+	fmt.Println("hash directory keeps renames of unrelated names conflict-free.")
+}

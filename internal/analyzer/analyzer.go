@@ -1,0 +1,190 @@
+// Package analyzer implements COMMUTER's ANALYZER component (§5.1 of the
+// paper): it symbolically executes all permutations of a set of modeled
+// operations from a shared unconstrained initial state, and computes the
+// precise conditions — in terms of operation arguments and system state —
+// under which the set commutes.
+//
+// The commutativity test codifies SIM commutativity for pairs (§3.2,
+// specialized as in §5.1): a pair commutes on a path when each operation's
+// return value is equal in both permutations and the final states are
+// indistinguishable through the interface, allowing nondeterministic
+// outputs (freshly allocated identifiers) to be chosen equal.
+package analyzer
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/sym"
+	"repro/internal/symx"
+)
+
+// PairPath is one feasible joint path of the two permutations of a pair.
+type PairPath struct {
+	// PC is the joint path condition.
+	PC *sym.Expr
+	// Eq states that returns match and final states are equivalent.
+	Eq *sym.Expr
+	// CommuteCond is PC ∧ Eq: the commutativity condition of this path.
+	CommuteCond *sym.Expr
+	// Commutes reports whether CommuteCond is satisfiable: some initial
+	// state and arguments on this path make the pair commute.
+	Commutes bool
+	// CanDiverge reports whether PC ∧ ¬Eq is satisfiable: some initial
+	// state and arguments on this path order-distinguish the pair.
+	CanDiverge bool
+	// StateA and StateB are the final symbolic states of the two
+	// permutations (op0;op1 and op1;op0); TESTGEN mines their
+	// initial-probe entries to materialize concrete initial states.
+	StateA, StateB *model.State
+	// RetsA0.. hold the return vectors: RetsA* from the op0;op1 order,
+	// RetsB* from op1;op0; index 0 is op0's return, 1 is op1's.
+	RetsA, RetsB [2][]*sym.Expr
+	// VarKinds classifies the path's symbolic variables.
+	VarKinds map[string]symx.VarKind
+}
+
+// PairResult aggregates analysis of one operation pair.
+type PairResult struct {
+	OpA, OpB string
+	// Paths holds every feasible joint path.
+	Paths []PairPath
+}
+
+// CommutativePaths returns the paths on which the pair can commute.
+func (r *PairResult) CommutativePaths() []PairPath {
+	var out []PairPath
+	for _, p := range r.Paths {
+		if p.Commutes {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Options tunes the analysis.
+type Options struct {
+	// Config selects model specification variants.
+	Config model.Config
+	// MaxPaths caps joint path exploration per pair (default 4096).
+	MaxPaths int
+	// Solver overrides the default solver.
+	Solver *sym.Solver
+}
+
+type pathData struct {
+	eq             *sym.Expr
+	stateA, stateB *model.State
+	retsA, retsB   [2][]*sym.Expr
+}
+
+// AnalyzePair symbolically executes both permutations of (opA, opB) from a
+// shared symbolic initial state and classifies every joint path.
+func AnalyzePair(opA, opB *model.OpDef, opt Options) PairResult {
+	solver := opt.Solver
+	if solver == nil {
+		solver = &sym.Solver{}
+	}
+	paths := symx.Run(func(c *symx.Context) any {
+		argsA := model.MakeArgs(c, opA, "0")
+		argsB := model.MakeArgs(c, opB, "1")
+
+		sa := model.NewState(c)
+		ma := &model.M{C: c, S: sa, Cfg: opt.Config}
+		rA0 := opA.Exec(ma, "0", argsA)
+		rA1 := opB.Exec(ma, "1", argsB)
+
+		sb := model.NewState(c)
+		mb := &model.M{C: c, S: sb, Cfg: opt.Config}
+		rB1 := opB.Exec(mb, "1", argsB)
+		rB0 := opA.Exec(mb, "0", argsA)
+
+		eq := sym.And(
+			model.RetEq(rA0, rB0),
+			model.RetEq(rA1, rB1),
+			model.Equivalent(c, sa, sb))
+		return pathData{
+			eq:     eq,
+			stateA: sa, stateB: sb,
+			retsA: [2][]*sym.Expr{rA0, rA1},
+			retsB: [2][]*sym.Expr{rB0, rB1},
+		}
+	}, symx.Options{MaxPaths: opt.MaxPaths, Solver: solver})
+
+	res := PairResult{OpA: opA.Name, OpB: opB.Name}
+	for _, p := range paths {
+		d := p.Result.(pathData)
+		cc := sym.And(p.PC, d.eq)
+		pp := PairPath{
+			PC:          p.PC,
+			Eq:          d.eq,
+			CommuteCond: cc,
+			Commutes:    satAssuming(solver, p.Witness, p.PC, d.eq),
+			CanDiverge:  divergeSat(solver, p.Witness, p.PC, d.eq),
+			StateA:      d.stateA,
+			StateB:      d.stateB,
+			RetsA:       d.retsA,
+			RetsB:       d.retsB,
+			VarKinds:    p.VarKinds,
+		}
+		res.Paths = append(res.Paths, pp)
+	}
+	return res
+}
+
+// satAssuming checks satisfiability of pc ∧ extra (pc known satisfiable),
+// trying the path witness on the full formula first, then a cone-of-
+// influence search.
+func satAssuming(solver *sym.Solver, w sym.Model, pc, extra *sym.Expr) bool {
+	if w != nil {
+		if v, ok := w.TryEval(sym.And(pc, extra)); ok && v.Bool {
+			return true
+		}
+	}
+	_, ok := solver.SatAssuming(pc, extra)
+	return ok
+}
+
+// divergeSat checks whether pc ∧ ¬eq is satisfiable. eq is a conjunction,
+// and ¬(c1 ∧ … ∧ cn) is satisfiable with pc iff some pc ∧ ¬ci is, so the
+// check decomposes into small per-conjunct problems whose cones of
+// influence stay narrow.
+func divergeSat(solver *sym.Solver, w sym.Model, pc, eq *sym.Expr) bool {
+	for _, c := range sym.Conjuncts(eq) {
+		if satAssuming(solver, w, pc, sym.Not(c)) {
+			return true
+		}
+	}
+	return false
+}
+
+// AnalyzeAll analyzes every unordered pair drawn from ops (including
+// self-pairs), invoking report after each pair if non-nil.
+func AnalyzeAll(ops []*model.OpDef, opt Options, report func(PairResult)) []PairResult {
+	var out []PairResult
+	for i, a := range ops {
+		for _, b := range ops[:i+1] {
+			r := AnalyzePair(b, a, opt)
+			out = append(out, r)
+			if report != nil {
+				report(r)
+			}
+		}
+	}
+	return out
+}
+
+// Summary describes a pair's commutativity in one line.
+func (r *PairResult) Summary() string {
+	nc, nd := 0, 0
+	for _, p := range r.Paths {
+		if p.Commutes {
+			nc++
+		}
+		if p.CanDiverge {
+			nd++
+		}
+	}
+	return fmt.Sprintf("%s x %s: %d paths, %d commutative, %d order-dependent",
+		r.OpA, r.OpB, len(r.Paths), nc, nd)
+}

@@ -1,0 +1,132 @@
+package analyzer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/sym"
+	"repro/internal/symx"
+)
+
+// Describe renders a pair's commutativity conditions as human-readable
+// clauses in the style of §5.1's bullet list for rename×rename. For every
+// commutative path it determines, per predicate of interest (equalities
+// between same-sort arguments, argument flags, and name-existence facts),
+// whether the commutativity condition implies it, implies its negation, or
+// leaves it free, then merges identical descriptions.
+func Describe(pr PairResult) []string {
+	solver := &sym.Solver{}
+	seen := map[string]bool{}
+	var out []string
+	for _, p := range pr.Paths {
+		if !p.Commutes {
+			continue
+		}
+		desc := describePath(solver, p)
+		if desc == "" || seen[desc] {
+			continue
+		}
+		seen[desc] = true
+		out = append(out, desc)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func describePath(solver *sym.Solver, p PairPath) string {
+	argVars := map[string]*sym.Expr{}
+	for name, kind := range p.VarKinds {
+		if kind == symx.KindArg {
+			argVars[name] = nil
+		}
+	}
+	// Recover sorts from the condition's variable set.
+	for _, v := range sym.Vars(p.CommuteCond) {
+		if _, ok := argVars[v.Name]; ok {
+			argVars[v.Name] = v
+		}
+	}
+	var names []string
+	for n, v := range argVars {
+		if v != nil {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	var clauses []string
+	implied := func(pred *sym.Expr) int {
+		// 1: implied, -1: negation implied, 0: free.
+		if _, ok := solver.SatAssuming(p.CommuteCond, sym.Not(pred)); !ok {
+			return 1
+		}
+		if _, ok := solver.SatAssuming(p.CommuteCond, pred); !ok {
+			return -1
+		}
+		return 0
+	}
+
+	// Equalities between same-sort argument pairs.
+	for i, a := range names {
+		va := argVars[a]
+		for _, b := range names[i+1:] {
+			vb := argVars[b]
+			if va.Sort != vb.Sort || va.Sort.Kind == sym.KindBool {
+				continue
+			}
+			switch implied(sym.Eq(va, vb)) {
+			case 1:
+				clauses = append(clauses, short(a)+" = "+short(b))
+			case -1:
+				clauses = append(clauses, short(a)+" ≠ "+short(b))
+			}
+		}
+	}
+	// Boolean argument flags.
+	for _, a := range names {
+		va := argVars[a]
+		if va.Sort.Kind != sym.KindBool {
+			continue
+		}
+		switch implied(va) {
+		case 1:
+			clauses = append(clauses, short(a))
+		case -1:
+			clauses = append(clauses, "!"+short(a))
+		}
+	}
+	// Name-existence facts from the initial state: filename arguments
+	// appear as fname[<arg>].present state variables.
+	for _, a := range names {
+		va := argVars[a]
+		if va.Sort != model.FilenameSort {
+			continue
+		}
+		pv := sym.Var("fname["+a+"].present", sym.BoolSort)
+		if _, mentioned := p.VarKinds[pv.Name]; !mentioned {
+			continue
+		}
+		switch implied(pv) {
+		case 1:
+			clauses = append(clauses, short(a)+" exists")
+		case -1:
+			clauses = append(clauses, short(a)+" absent")
+		}
+	}
+	if len(clauses) == 0 {
+		return "unconditionally"
+	}
+	return strings.Join(clauses, ", ")
+}
+
+// short strips the operation prefix from an argument variable name:
+// "rename.0.src" -> "src0".
+func short(name string) string {
+	parts := strings.Split(name, ".")
+	if len(parts) == 3 {
+		return fmt.Sprintf("%s%s", parts[2], parts[1])
+	}
+	return name
+}

@@ -1,0 +1,104 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/analyzer"
+	"repro/internal/model"
+	"repro/internal/testgen"
+)
+
+// fsSubset is the fast file-system operation universe used for in-test
+// matrix checks; the full 18-op matrix runs via cmd/commuter.
+func fsSubset() []*model.OpDef {
+	names := []string{"open", "link", "unlink", "rename", "stat", "fstat", "lseek", "close", "pipe"}
+	out := make([]*model.OpDef, len(names))
+	for i, n := range names {
+		out[i] = model.OpByName(n)
+	}
+	return out
+}
+
+// TestGenerationCounts pins §6.1's headline: COMMUTER generates thousands
+// of tests across the pairs, every pair analysis terminates, and every
+// commutative pair yields at least one test.
+func TestGenerationCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix generation in -short mode")
+	}
+	tests := GenerateAllTests(fsSubset(), analyzer.Options{}, testgen.Options{MaxTestsPerPath: 4}, nil)
+	total := 0
+	for _, ts := range tests {
+		total += len(ts)
+	}
+	if total < 1000 {
+		t.Errorf("expected thousands of generated tests over the fs subset, got %d", total)
+	}
+	for pair, ts := range tests {
+		if len(ts) == 0 && pair != [2]string{"pipe", "pipe"} {
+			// Every fs pair has commutative situations (even pipe x pipe:
+			// two pipes never share state).
+			t.Errorf("pair %v generated no tests", pair)
+		}
+	}
+}
+
+// TestFigure6Headline pins the paper's central empirical claim on the fs
+// subset: the commutative tests are overwhelmingly conflict-free on sv6 and
+// substantially less so on the Linux-like kernel (the paper reports 99% vs
+// 68% over all 18 operations).
+func TestFigure6Headline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix check in -short mode")
+	}
+	tests := GenerateAllTests(fsSubset(), analyzer.Options{}, testgen.Options{MaxTestsPerPath: 4}, nil)
+
+	linux, err := CheckMatrix("linux", tests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv6, err := CheckMatrix("sv6", tests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lt, lc := linux.Totals()
+	st, sc := sv6.Totals()
+	linuxPct := 100 * float64(lt-lc) / float64(lt)
+	sv6Pct := 100 * float64(st-sc) / float64(st)
+	t.Logf("linux: %.1f%% conflict-free (%d/%d); sv6: %.1f%% (%d/%d)",
+		linuxPct, lt-lc, lt, sv6Pct, st-sc, st)
+
+	if sv6Pct < 95 {
+		t.Errorf("sv6 should be conflict-free for nearly all tests, got %.1f%%", sv6Pct)
+	}
+	if linuxPct > sv6Pct-5 {
+		t.Errorf("linux (%.1f%%) should trail sv6 (%.1f%%) clearly", linuxPct, sv6Pct)
+	}
+
+	// Per-pair dominance: Linux must never beat sv6 on any cell by more
+	// than noise, and the paper's marquee cells must show the gap.
+	sv6Cells := map[[2]string]MatrixCell{}
+	for _, c := range sv6.Cells {
+		sv6Cells[[2]string{c.OpA, c.OpB}] = c
+	}
+	for _, lcell := range linux.Cells {
+		scell := sv6Cells[[2]string{lcell.OpA, lcell.OpB}]
+		if scell.Conflicts > lcell.Conflicts {
+			t.Errorf("%s x %s: sv6 (%d) conflicts more than linux (%d)",
+				lcell.OpA, lcell.OpB, scell.Conflicts, lcell.Conflicts)
+		}
+	}
+	// Marquee: open x open (creating files in a shared directory) must be
+	// a Linux problem and (mostly) an sv6 non-problem.
+	for _, lcell := range linux.Cells {
+		if lcell.OpA == "open" && lcell.OpB == "open" {
+			if lcell.Conflicts == 0 {
+				t.Error("linux open x open should show conflicts (dir lock, lowest FD)")
+			}
+			s := sv6Cells[[2]string{"open", "open"}]
+			if s.Conflicts >= lcell.Conflicts {
+				t.Errorf("sv6 open x open (%d) should beat linux (%d)", s.Conflicts, lcell.Conflicts)
+			}
+		}
+	}
+}

@@ -1,0 +1,357 @@
+// Package svsix is the sv6-like kernel: the same POSIX semantics as the
+// monokernel, rebuilt on the scalable substrates §6.3 of the paper
+// describes for ScaleFS and RadixVM:
+//
+//   - the directory is a hash table with independent per-bucket locks, and
+//     name lookups are lock-free with no reference-count writes,
+//   - link counts are Refcache counters (per-core deltas),
+//   - descriptor lookup touches only the slot's own cache line,
+//   - descriptor allocation uses per-core partitions of the FD space
+//     (O_ANYFD) — the lowest-FD rule is also available for the openbench
+//     comparison, implemented with a shared scan like any faithful
+//     implementation must,
+//   - inode numbers come from per-core allocators and are never reused,
+//   - lseek precedes pessimism with optimism: an offset update equal to
+//     the current value writes nothing,
+//   - rename avoids writing the destination when it already points at the
+//     source's inode and checks name existence without reading inodes,
+//   - pages live in radix arrays; reads probe per-page presence instead of
+//     the shared length where possible,
+//   - pipes keep head and tail on separate cache lines so reads and
+//     writes of a non-empty pipe are conflict-free,
+//   - the address space is a RadixVM-style radix array: operations on
+//     different pages touch disjoint cells, with no process-wide lock.
+//
+// Remaining shared cells are the deliberate §6.4 trade-offs: idempotent
+// updates (lseek to the same offset still reads, mmap of the same fixed
+// range still writes) and the pipe descriptor reference counts.
+package svsix
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/mtrace"
+	"repro/internal/scale"
+)
+
+type inode struct {
+	nlink *scale.Refcache
+	// nlinkShared replaces nlink when the kernel is built with
+	// Opts.SharedLinkCount (statbench's "shared st_nlink" configuration).
+	nlinkShared *scale.SharedCounter
+	pages       *scale.Radix
+	// pagePresent tracks which pages are within bounds. ScaleFS keeps no
+	// shared length cell at all: readers probe per-page presence, and
+	// length-returning operations reconcile it by scanning the radix
+	// ("layer scalability", §6.3), so concurrent writes extending the
+	// file stay conflict-free with reads of other pages.
+	pagePresent *scale.Radix
+}
+
+func (ino *inode) linkInc(core int, delta int64) {
+	if ino.nlinkShared != nil {
+		ino.nlinkShared.Inc(core, delta)
+		return
+	}
+	ino.nlink.Inc(core, delta)
+}
+
+func (ino *inode) linkRead(core int) int64 {
+	if ino.nlinkShared != nil {
+		return ino.nlinkShared.Read(core)
+	}
+	return ino.nlink.Read(core)
+}
+
+// length reconciles the file length from the per-page presence radix.
+func (ino *inode) length(core int, maxScan int64) int64 {
+	var n int64
+	for pg := int64(0); pg < maxScan; pg++ {
+		if ino.pagePresent.Get(core, pg) != 0 {
+			n = pg + 1
+		}
+	}
+	return n
+}
+
+func (ino *inode) linkPoke(v int64) {
+	if ino.nlinkShared != nil {
+		ino.nlinkShared.Poke(v)
+		return
+	}
+	ino.nlink.Poke(v)
+}
+
+func (ino *inode) linkPeek() int64 {
+	if ino.nlinkShared != nil {
+		return ino.nlinkShared.Peek()
+	}
+	return ino.nlink.Peek()
+}
+
+type file struct {
+	slot *mtrace.Cell // the descriptor slot's own cache line
+	off  *mtrace.Cell
+	pipe *pipe
+	wend bool
+	inum int64
+}
+
+type pipe struct {
+	// head and tail live on separate cache lines; readers write only
+	// head, writers only tail, so read||write of a non-empty pipe is
+	// conflict-free (§4's weak-ordering discussion). Readers detect
+	// emptiness from per-slot full flags rather than reading the
+	// writer-owned tail.
+	head  *mtrace.Cell
+	tail  *mtrace.Cell
+	items map[int64]*mtrace.Cell
+	full  map[int64]*mtrace.Cell
+	// refs is the deliberately shared pipe-FD reference count that §6.4
+	// reports as a difficult-to-scale case.
+	refs *mtrace.Cell
+}
+
+type vmaCell struct {
+	cell *mtrace.Cell // mapping descriptor: one cache line per page
+	anon bool
+	inum int64
+	foff int64
+	wr   bool
+}
+
+type proc struct {
+	slots map[int64]*file
+	// nextFD are the per-core O_ANYFD partitions: fd = base + core.
+	nextFD [scale.NCores]*mtrace.Cell
+	// lowHint is the shared cell a faithful lowest-FD allocator must
+	// maintain; only the lowest-FD mode touches it.
+	lowHint *mtrace.Cell
+	// nextAddr are per-core partitions of the free address space for
+	// non-fixed mmap (RadixVM picks addresses without a shared cursor).
+	nextAddr [scale.NCores]*mtrace.Cell
+	vmas     map[int64]*vmaCell
+	anon     map[int64]*mtrace.Cell
+}
+
+// Opts selects svsix build variants for the evaluation.
+type Opts struct {
+	// SharedLinkCount replaces Refcache link counts with single shared
+	// counters — statbench's "shared st_nlink" configuration, which
+	// makes fstat cheaper but link/unlink non-scalable.
+	SharedLinkCount bool
+}
+
+// Kern is the sv6-like kernel instance.
+type Kern struct {
+	mem      *mtrace.Memory
+	opts     Opts
+	dir      *scale.HashDir
+	inoAlloc *scale.IDAlloc
+	inodes   map[int64]*inode
+	pipes    map[int64]*pipe
+	nextPipe int64
+	procs    [2]*proc
+}
+
+var _ kernel.Kernel = (*Kern)(nil)
+
+// New returns an empty sv6-like kernel over a fresh traced memory.
+func New() *Kern { return NewOpts(Opts{}) }
+
+// NewOpts returns an sv6-like kernel with the given build variant.
+func NewOpts(opts Opts) *Kern {
+	mem := mtrace.NewMemory()
+	k := &Kern{
+		mem:      mem,
+		opts:     opts,
+		dir:      scale.NewHashDir(mem, "dir", 8192),
+		inoAlloc: scale.NewIDAlloc(mem, "ialloc", 1000),
+		inodes:   map[int64]*inode{},
+		pipes:    map[int64]*pipe{},
+		nextPipe: 2000,
+	}
+	for i := range k.procs {
+		p := &proc{
+			slots:   map[int64]*file{},
+			lowHint: mem.NewCellf(0, "proc%d.fd.lowhint", i),
+			vmas:    map[int64]*vmaCell{},
+			anon:    map[int64]*mtrace.Cell{},
+		}
+		for c := range p.nextFD {
+			p.nextFD[c] = mem.NewCellf(0, "proc%d.fd.next[%d]", i, c)
+			p.nextAddr[c] = mem.NewCellf(0, "proc%d.vm.next[%d]", i, c)
+		}
+		k.procs[i] = p
+	}
+	return k
+}
+
+// Name implements kernel.Kernel.
+func (k *Kern) Name() string { return "sv6" }
+
+// Memory implements kernel.Kernel.
+func (k *Kern) Memory() *mtrace.Memory { return k.mem }
+
+func (k *Kern) inode(inum int64) *inode {
+	ino, ok := k.inodes[inum]
+	if !ok {
+		ino = &inode{
+			pages:       scale.NewRadix(k.mem, fmt.Sprintf("inode[%d].pages", inum), 16),
+			pagePresent: scale.NewRadix(k.mem, fmt.Sprintf("inode[%d].present", inum), 16),
+		}
+		// Interior nodes exist up front (RadixVM's eager allocation), so
+		// concurrent first writes to different pages stay conflict-free.
+		ino.pages.Materialize(maxScan)
+		ino.pagePresent.Materialize(maxScan)
+		if k.opts.SharedLinkCount {
+			ino.nlinkShared = scale.NewSharedCounter(k.mem, fmt.Sprintf("inode[%d].nlink", inum), 0)
+		} else {
+			ino.nlink = scale.NewRefcache(k.mem, fmt.Sprintf("inode[%d].nlink", inum), 0)
+		}
+		k.inodes[inum] = ino
+	}
+	return ino
+}
+
+func (k *Kern) newPipe(id int64) *pipe {
+	p := &pipe{
+		head:  k.mem.NewCellf(0, "pipe[%d].head", id),
+		tail:  k.mem.NewCellf(0, "pipe[%d].tail", id),
+		items: map[int64]*mtrace.Cell{},
+		full:  map[int64]*mtrace.Cell{},
+		refs:  k.mem.NewCellf(0, "pipe[%d].refs", id),
+	}
+	k.pipes[id] = p
+	return p
+}
+
+func (p *pipe) item(mem *mtrace.Memory, seq int64) *mtrace.Cell {
+	c, ok := p.items[seq]
+	if !ok {
+		c = mem.NewCellf(0, "pipe.item[%d]", seq)
+		p.items[seq] = c
+	}
+	return c
+}
+
+func (p *pipe) slotFull(mem *mtrace.Memory, seq int64) *mtrace.Cell {
+	c, ok := p.full[seq]
+	if !ok {
+		c = mem.NewCellf(0, "pipe.full[%d]", seq)
+		p.full[seq] = c
+	}
+	return c
+}
+
+// fget resolves a descriptor by reading only the slot cell — no reference
+// count write (ScaleFS defers reclamation with Refcache epochs, so readers
+// are conflict-free).
+func (k *Kern) fget(core int, pr int, fd int64) *file {
+	f, ok := k.procs[pr].slots[fd]
+	if !ok || f.slot.Load(core) == 0 {
+		return nil
+	}
+	return f
+}
+
+// allocFD installs f. anyfd uses the per-core partition (conflict-free);
+// otherwise a faithful lowest-FD scan maintains the shared hint.
+func (k *Kern) allocFD(core int, pr int, f *file, anyfd bool) int64 {
+	p := k.procs[pr]
+	if anyfd {
+		n := p.nextFD[core].Load(core)
+		p.nextFD[core].Store(core, n+1)
+		fd := 1000 + n*scale.NCores + int64(core)
+		f.slot = k.mem.NewCellf(0, "proc%d.fd[%d]", pr, fd)
+		f.slot.Store(core, 1)
+		p.slots[fd] = f
+		return fd
+	}
+	_ = p.lowHint.Add(core, 0) // shared lowest-FD cursor: read-modify-write
+	for fd := int64(0); ; fd++ {
+		g, ok := p.slots[fd]
+		if ok && g.slot.Load(core) != 0 {
+			continue
+		}
+		if !ok {
+			f.slot = k.mem.NewCellf(0, "proc%d.fd[%d]", pr, fd)
+		} else {
+			f.slot = g.slot
+		}
+		f.slot.Store(core, 1)
+		p.slots[fd] = f
+		p.lowHint.Add(core, 1)
+		return fd
+	}
+}
+
+// Apply implements kernel.Kernel; it builds initial state untraced.
+func (k *Kern) Apply(s kernel.Setup) error {
+	for _, si := range s.Inodes {
+		ino := k.inode(si.Inum)
+		ino.linkPoke(int64(si.ExtraLinks))
+		for pg := int64(0); pg < si.Len; pg++ {
+			ino.pagePresent.Poke(pg, 1)
+		}
+		for pg, val := range si.Pages {
+			ino.pages.Poke(pg, val)
+			ino.pagePresent.Poke(pg, 1)
+		}
+	}
+	for _, sf := range s.Files {
+		var id int64
+		if _, err := fmt.Sscanf(sf.Name, "f%d", &id); err != nil {
+			return fmt.Errorf("svsix: bad setup name %q", sf.Name)
+		}
+		k.dir.PokeInsert(id, sf.Inum)
+		ino := k.inode(sf.Inum)
+		ino.linkPoke(ino.linkPeek() + 1)
+	}
+	for _, sp := range s.Pipes {
+		p := k.newPipe(sp.ID)
+		for i, v := range sp.Items {
+			p.item(k.mem, int64(i)).Poke(v)
+			p.slotFull(k.mem, int64(i)).Poke(1)
+		}
+		p.tail.Poke(int64(len(sp.Items)))
+	}
+	for _, sd := range s.FDs {
+		p := k.procs[sd.Proc]
+		f := &file{
+			slot: k.mem.NewCellf(1, "proc%d.fd[%d]", sd.Proc, sd.FD),
+			off:  k.mem.NewCellf(sd.Off, "file[p%d:%d].off", sd.Proc, sd.FD),
+		}
+		if sd.Pipe {
+			pp, ok := k.pipes[sd.PipeID]
+			if !ok {
+				pp = k.newPipe(sd.PipeID)
+			}
+			f.pipe = pp
+			f.wend = sd.WriteEnd
+			pp.refs.Poke(pp.refs.Peek() + 1)
+		} else {
+			f.inum = sd.Inum
+			k.inode(sd.Inum)
+		}
+		p.slots[sd.FD] = f
+	}
+	for _, sv := range s.VMAs {
+		p := k.procs[sv.Proc]
+		v := &vmaCell{
+			cell: k.mem.NewCellf(1, "proc%d.vma[%d]", sv.Proc, sv.Page),
+			anon: sv.Anon, inum: sv.Inum, foff: sv.Foff, wr: sv.Writable,
+		}
+		p.vmas[sv.Page] = v
+		if sv.Anon {
+			c := k.mem.NewCellf(sv.Val, "proc%d.anonpage[%d]", sv.Proc, sv.Page)
+			p.anon[sv.Page] = c
+		} else {
+			k.inode(sv.Inum)
+		}
+	}
+	return nil
+}
+
+func errR(errno int64) kernel.Result { return kernel.Result{Code: -errno} }

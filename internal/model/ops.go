@@ -1,0 +1,625 @@
+package model
+
+import (
+	"repro/internal/sym"
+	"repro/internal/symx"
+)
+
+// Config selects specification variants for the model. The default (zero)
+// Config embraces specification nondeterminism per §4 of the paper: FD
+// allocation may return any unused descriptor. Setting LowestFD restores
+// POSIX's "lowest available FD" rule so ANALYZER can demonstrate the
+// commutativity it destroys.
+type Config struct {
+	// LowestFD enforces POSIX's lowest-available-FD allocation rule.
+	LowestFD bool
+}
+
+// RetWidth is the uniform return-vector width of every operation:
+// [code, i1, i2, i3, data]. code is 0/positive on success or a negated
+// errno; unused slots are zero.
+const RetWidth = 5
+
+// ArgSpec describes one symbolic operation argument.
+type ArgSpec struct {
+	// Name is the argument name; instances are "<op>.<slot>.<name>".
+	Name string
+	// Sort of the argument.
+	Sort sym.Sort
+	// Min and Max bound integer arguments (inclusive) when Bounded.
+	Min, Max int64
+	Bounded  bool
+}
+
+// OpDef defines one modeled system call.
+type OpDef struct {
+	// Name matches the Figure 6 row/column labels.
+	Name string
+	// Args are the symbolic arguments.
+	Args []ArgSpec
+	// Exec runs the call against m's state, returning a RetWidth vector.
+	Exec func(m *M, slot string, args []*sym.Expr) []*sym.Expr
+}
+
+// M bundles the execution context for one permutation run.
+type M struct {
+	C   *symx.Context
+	S   *State
+	Cfg Config
+}
+
+// MakeArgs materializes the symbolic arguments of op for an operation slot,
+// applying declared bounds.
+func MakeArgs(c *symx.Context, op *OpDef, slot string) []*sym.Expr {
+	args := make([]*sym.Expr, len(op.Args))
+	for i, spec := range op.Args {
+		v := c.Var(op.Name+"."+slot+"."+spec.Name, spec.Sort, symx.KindArg)
+		if spec.Bounded {
+			c.Assume(sym.And(sym.Ge(v, sym.Int(spec.Min)), sym.Le(v, sym.Int(spec.Max))))
+		}
+		args[i] = v
+	}
+	return args
+}
+
+func errRet(errno int64) []*sym.Expr {
+	return []*sym.Expr{sym.Int(-errno), sym.Int(0), sym.Int(0), sym.Int(0), DataZero}
+}
+
+func okRet(code *sym.Expr, is ...*sym.Expr) []*sym.Expr {
+	out := []*sym.Expr{code, sym.Int(0), sym.Int(0), sym.Int(0), DataZero}
+	for i, e := range is {
+		out[i+1] = e
+	}
+	return out
+}
+
+func dataRet(code int64, d *sym.Expr) []*sym.Expr {
+	return []*sym.Expr{sym.Int(code), sym.Int(0), sym.Int(0), sym.Int(0), d}
+}
+
+// RetEq builds the formula stating two return vectors are equal.
+func RetEq(a, b []*sym.Expr) *sym.Expr {
+	if len(a) != len(b) {
+		panic("model: return width mismatch")
+	}
+	conj := make([]*sym.Expr, len(a))
+	for i := range a {
+		conj[i] = sym.Eq(a[i], b[i])
+	}
+	return sym.And(conj...)
+}
+
+// allocFD picks a descriptor for a new open file. In LowestFD mode it scans
+// for the lowest free slot (nil when the table is full); otherwise it is an
+// unused descriptor chosen nondeterministically.
+func (m *M) allocFD(slot string, proc *sym.Expr) *sym.Expr {
+	if m.Cfg.LowestFD {
+		for i := int64(0); i < MaxFD; i++ {
+			if !m.S.FD.Contains(m.C, symx.K(proc, sym.Int(i))) {
+				return sym.Int(i)
+			}
+		}
+		return nil
+	}
+	v := m.C.Var("alloc.fd."+slot, sym.IntSort, symx.KindNondet)
+	m.C.Assume(sym.And(sym.Ge(v, sym.Int(0)), sym.Le(v, sym.Int(MaxFD-1))))
+	if m.S.FD.Contains(m.C, symx.K(proc, v)) {
+		m.C.Abort() // the kernel picks an unused descriptor
+	}
+	return v
+}
+
+func fileFD(inum, off *sym.Expr) *symx.Struct {
+	return symx.NewStruct("ispipe", sym.False, "inum", inum, "off", off,
+		"pipe", sym.Int(1), "wend", sym.False)
+}
+
+func pipeFD(pipe *sym.Expr, wend bool) *symx.Struct {
+	return symx.NewStruct("ispipe", sym.True, "inum", sym.Int(1), "off", sym.Int(0),
+		"pipe", pipe, "wend", sym.Bool(wend))
+}
+
+// Ops returns the 18 modeled POSIX operations, in Figure 6 order.
+func Ops() []*OpDef {
+	return []*OpDef{
+		opOpen(), opLink(), opUnlink(), opRename(), opStat(), opFstat(),
+		opLseek(), opClose(), opPipe(), opRead(), opWrite(), opPread(),
+		opPwrite(), opMmap(), opMunmap(), opMprotect(), opMemread(), opMemwrite(),
+	}
+}
+
+// OpByName returns the operation definition with the given name.
+func OpByName(name string) *OpDef {
+	for _, op := range Ops() {
+		if op.Name == name {
+			return op
+		}
+	}
+	return nil
+}
+
+func procArg() ArgSpec { return ArgSpec{Name: "proc", Sort: sym.BoolSort} }
+func fdArg() ArgSpec {
+	return ArgSpec{Name: "fd", Sort: sym.IntSort, Min: 0, Max: MaxFD - 1, Bounded: true}
+}
+func pageArg(name string) ArgSpec {
+	return ArgSpec{Name: name, Sort: sym.IntSort, Min: 0, Max: MaxPage - 1, Bounded: true}
+}
+func offArg(name string) ArgSpec {
+	return ArgSpec{Name: name, Sort: sym.IntSort, Min: 0, Max: MaxLen, Bounded: true}
+}
+
+func opOpen() *OpDef {
+	return &OpDef{
+		Name: "open",
+		Args: []ArgSpec{
+			procArg(),
+			{Name: "fname", Sort: FilenameSort},
+			{Name: "creat", Sort: sym.BoolSort},
+			{Name: "excl", Sort: sym.BoolSort},
+			{Name: "trunc", Sort: sym.BoolSort},
+		},
+		Exec: func(m *M, slot string, a []*sym.Expr) []*sym.Expr {
+			proc, fname, creat, excl, trunc := a[0], a[1], a[2], a[3], a[4]
+			var inum *sym.Expr
+			if m.S.Fname.Contains(m.C, symx.K(fname)) {
+				if m.C.Branch(sym.And(creat, excl)) {
+					return errRet(EEXIST)
+				}
+				inum = m.S.Fname.Get(m.C, symx.K(fname)).(*symx.Struct).Get("inum")
+				if m.C.Branch(trunc) {
+					ino := m.S.Inode.GetFunc(m.C, symx.K(inum)).(*symx.Struct)
+					m.S.Inode.Set(m.C, symx.K(inum), ino.With("len", sym.Int(0)))
+				}
+			} else {
+				if !m.C.Branch(creat) {
+					return errRet(ENOENT)
+				}
+				inum = m.S.AllocInum(m.C, slot)
+				m.S.Inode.Set(m.C, symx.K(inum),
+					symx.NewStruct("nlink", sym.Int(1), "len", sym.Int(0)))
+				m.S.Fname.Set(m.C, symx.K(fname), symx.NewStruct("inum", inum))
+			}
+			fd := m.allocFD(slot, proc)
+			if fd == nil {
+				return errRet(EMFILE)
+			}
+			m.S.FD.Set(m.C, symx.K(proc, fd), fileFD(inum, sym.Int(0)))
+			return okRet(fd)
+		},
+	}
+}
+
+func opLink() *OpDef {
+	return &OpDef{
+		Name: "link",
+		Args: []ArgSpec{
+			{Name: "old", Sort: FilenameSort},
+			{Name: "new", Sort: FilenameSort},
+		},
+		Exec: func(m *M, slot string, a []*sym.Expr) []*sym.Expr {
+			old, nw := a[0], a[1]
+			if !m.S.Fname.Contains(m.C, symx.K(old)) {
+				return errRet(ENOENT)
+			}
+			if m.S.Fname.Contains(m.C, symx.K(nw)) {
+				return errRet(EEXIST)
+			}
+			inum := m.S.Fname.Get(m.C, symx.K(old)).(*symx.Struct).Get("inum")
+			ino := m.S.Inode.GetFunc(m.C, symx.K(inum)).(*symx.Struct)
+			m.S.Inode.Set(m.C, symx.K(inum),
+				ino.With("nlink", sym.Add(ino.Get("nlink"), sym.Int(1))))
+			m.S.Fname.Set(m.C, symx.K(nw), symx.NewStruct("inum", inum))
+			return okRet(sym.Int(0))
+		},
+	}
+}
+
+func opUnlink() *OpDef {
+	return &OpDef{
+		Name: "unlink",
+		Args: []ArgSpec{{Name: "fname", Sort: FilenameSort}},
+		Exec: func(m *M, slot string, a []*sym.Expr) []*sym.Expr {
+			fname := a[0]
+			if !m.S.Fname.Contains(m.C, symx.K(fname)) {
+				return errRet(ENOENT)
+			}
+			inum := m.S.Fname.Get(m.C, symx.K(fname)).(*symx.Struct).Get("inum")
+			ino := m.S.Inode.GetFunc(m.C, symx.K(inum)).(*symx.Struct)
+			m.S.Inode.Set(m.C, symx.K(inum),
+				ino.With("nlink", sym.Sub(ino.Get("nlink"), sym.Int(1))))
+			m.S.Fname.Del(m.C, symx.K(fname))
+			return okRet(sym.Int(0))
+		},
+	}
+}
+
+// opRename mirrors Figure 4 of the paper.
+func opRename() *OpDef {
+	return &OpDef{
+		Name: "rename",
+		Args: []ArgSpec{
+			{Name: "src", Sort: FilenameSort},
+			{Name: "dst", Sort: FilenameSort},
+		},
+		Exec: func(m *M, slot string, a []*sym.Expr) []*sym.Expr {
+			src, dst := a[0], a[1]
+			if !m.S.Fname.Contains(m.C, symx.K(src)) {
+				return errRet(ENOENT)
+			}
+			if m.C.Branch(sym.Eq(src, dst)) {
+				return okRet(sym.Int(0))
+			}
+			si := m.S.Fname.Get(m.C, symx.K(src)).(*symx.Struct).Get("inum")
+			if m.S.Fname.Contains(m.C, symx.K(dst)) {
+				di := m.S.Fname.Get(m.C, symx.K(dst)).(*symx.Struct).Get("inum")
+				ino := m.S.Inode.GetFunc(m.C, symx.K(di)).(*symx.Struct)
+				m.S.Inode.Set(m.C, symx.K(di),
+					ino.With("nlink", sym.Sub(ino.Get("nlink"), sym.Int(1))))
+			}
+			m.S.Fname.Set(m.C, symx.K(dst), symx.NewStruct("inum", si))
+			m.S.Fname.Del(m.C, symx.K(src))
+			return okRet(sym.Int(0))
+		},
+	}
+}
+
+func opStat() *OpDef {
+	return &OpDef{
+		Name: "stat",
+		Args: []ArgSpec{{Name: "fname", Sort: FilenameSort}},
+		Exec: func(m *M, slot string, a []*sym.Expr) []*sym.Expr {
+			fname := a[0]
+			if !m.S.Fname.Contains(m.C, symx.K(fname)) {
+				return errRet(ENOENT)
+			}
+			inum := m.S.Fname.Get(m.C, symx.K(fname)).(*symx.Struct).Get("inum")
+			ino := m.S.Inode.GetFunc(m.C, symx.K(inum)).(*symx.Struct)
+			return okRet(sym.Int(0), inum, ino.Get("nlink"), ino.Get("len"))
+		},
+	}
+}
+
+func opFstat() *OpDef {
+	return &OpDef{
+		Name: "fstat",
+		Args: []ArgSpec{procArg(), fdArg()},
+		Exec: func(m *M, slot string, a []*sym.Expr) []*sym.Expr {
+			proc, fd := a[0], a[1]
+			if !m.S.FD.Contains(m.C, symx.K(proc, fd)) {
+				return errRet(EBADF)
+			}
+			f := m.S.FD.Get(m.C, symx.K(proc, fd)).(*symx.Struct)
+			if m.C.Branch(f.Get("ispipe")) {
+				p := m.S.Pipe.GetFunc(m.C, symx.K(f.Get("pipe"))).(*symx.Struct)
+				// Pipes report a pseudo-inode in a disjoint (negative)
+				// number space, link count 1, and queued length.
+				return okRet(sym.Int(0), sym.Sub(sym.Int(0), f.Get("pipe")),
+					sym.Int(1), sym.Sub(p.Get("tail"), p.Get("head")))
+			}
+			inum := f.Get("inum")
+			ino := m.S.Inode.GetFunc(m.C, symx.K(inum)).(*symx.Struct)
+			return okRet(sym.Int(0), inum, ino.Get("nlink"), ino.Get("len"))
+		},
+	}
+}
+
+func opLseek() *OpDef {
+	return &OpDef{
+		Name: "lseek",
+		Args: []ArgSpec{
+			procArg(), fdArg(),
+			{Name: "delta", Sort: sym.IntSort, Min: -MaxLen, Max: MaxLen, Bounded: true},
+			{Name: "wset", Sort: sym.BoolSort},
+			{Name: "wend", Sort: sym.BoolSort},
+		},
+		Exec: func(m *M, slot string, a []*sym.Expr) []*sym.Expr {
+			proc, fd, delta, wset, wend := a[0], a[1], a[2], a[3], a[4]
+			if !m.S.FD.Contains(m.C, symx.K(proc, fd)) {
+				return errRet(EBADF)
+			}
+			f := m.S.FD.Get(m.C, symx.K(proc, fd)).(*symx.Struct)
+			if m.C.Branch(f.Get("ispipe")) {
+				return errRet(ESPIPE)
+			}
+			var n *sym.Expr
+			switch {
+			case m.C.Branch(wset):
+				n = delta
+			case m.C.Branch(wend):
+				ino := m.S.Inode.GetFunc(m.C, symx.K(f.Get("inum"))).(*symx.Struct)
+				n = sym.Add(ino.Get("len"), delta)
+			default:
+				n = sym.Add(f.Get("off"), delta)
+			}
+			if m.C.Branch(sym.Lt(n, sym.Int(0))) {
+				return errRet(EINVAL)
+			}
+			m.S.FD.Set(m.C, symx.K(proc, fd), f.With("off", n))
+			return okRet(sym.Int(0), n)
+		},
+	}
+}
+
+func opClose() *OpDef {
+	return &OpDef{
+		Name: "close",
+		Args: []ArgSpec{procArg(), fdArg()},
+		Exec: func(m *M, slot string, a []*sym.Expr) []*sym.Expr {
+			proc, fd := a[0], a[1]
+			if !m.S.FD.Contains(m.C, symx.K(proc, fd)) {
+				return errRet(EBADF)
+			}
+			m.S.FD.Del(m.C, symx.K(proc, fd))
+			return okRet(sym.Int(0))
+		},
+	}
+}
+
+func opPipe() *OpDef {
+	return &OpDef{
+		Name: "pipe",
+		Args: []ArgSpec{procArg()},
+		Exec: func(m *M, slot string, a []*sym.Expr) []*sym.Expr {
+			proc := a[0]
+			pid := m.S.AllocPipe(m.C, slot)
+			m.S.Pipe.Set(m.C, symx.K(pid),
+				symx.NewStruct("head", sym.Int(0), "tail", sym.Int(0)))
+			rfd := m.allocFD(slot+".r", proc)
+			if rfd == nil {
+				return errRet(EMFILE)
+			}
+			m.S.FD.Set(m.C, symx.K(proc, rfd), pipeFD(pid, false))
+			wfd := m.allocFD(slot+".w", proc)
+			if wfd == nil {
+				m.S.FD.Del(m.C, symx.K(proc, rfd))
+				return errRet(EMFILE)
+			}
+			m.S.FD.Set(m.C, symx.K(proc, wfd), pipeFD(pid, true))
+			return okRet(sym.Int(0), rfd, wfd)
+		},
+	}
+}
+
+func opRead() *OpDef {
+	return &OpDef{
+		Name: "read",
+		Args: []ArgSpec{procArg(), fdArg()},
+		Exec: func(m *M, slot string, a []*sym.Expr) []*sym.Expr {
+			proc, fd := a[0], a[1]
+			if !m.S.FD.Contains(m.C, symx.K(proc, fd)) {
+				return errRet(EBADF)
+			}
+			f := m.S.FD.Get(m.C, symx.K(proc, fd)).(*symx.Struct)
+			if m.C.Branch(f.Get("ispipe")) {
+				if m.C.Branch(f.Get("wend")) {
+					return errRet(EBADF)
+				}
+				pid := f.Get("pipe")
+				p := m.S.Pipe.GetFunc(m.C, symx.K(pid)).(*symx.Struct)
+				if m.C.Branch(sym.Eq(p.Get("head"), p.Get("tail"))) {
+					return errRet(EAGAIN) // modeled as non-blocking
+				}
+				v := m.S.PipeD.GetFunc(m.C, symx.K(pid, p.Get("head"))).(*symx.Struct)
+				m.S.Pipe.Set(m.C, symx.K(pid),
+					p.With("head", sym.Add(p.Get("head"), sym.Int(1))))
+				return dataRet(1, v.Get("val"))
+			}
+			ino := m.S.Inode.GetFunc(m.C, symx.K(f.Get("inum"))).(*symx.Struct)
+			if m.C.Branch(sym.Ge(f.Get("off"), ino.Get("len"))) {
+				return okRet(sym.Int(0)) // EOF
+			}
+			v := m.S.Data.GetFunc(m.C, symx.K(f.Get("inum"), f.Get("off"))).(*symx.Struct)
+			m.S.FD.Set(m.C, symx.K(proc, fd),
+				f.With("off", sym.Add(f.Get("off"), sym.Int(1))))
+			return dataRet(1, v.Get("val"))
+		},
+	}
+}
+
+func opWrite() *OpDef {
+	return &OpDef{
+		Name: "write",
+		Args: []ArgSpec{procArg(), fdArg(), {Name: "val", Sort: DataSort}},
+		Exec: func(m *M, slot string, a []*sym.Expr) []*sym.Expr {
+			proc, fd, val := a[0], a[1], a[2]
+			if !m.S.FD.Contains(m.C, symx.K(proc, fd)) {
+				return errRet(EBADF)
+			}
+			f := m.S.FD.Get(m.C, symx.K(proc, fd)).(*symx.Struct)
+			if m.C.Branch(f.Get("ispipe")) {
+				if !m.C.Branch(f.Get("wend")) {
+					return errRet(EBADF)
+				}
+				pid := f.Get("pipe")
+				p := m.S.Pipe.GetFunc(m.C, symx.K(pid)).(*symx.Struct)
+				m.S.PipeD.Set(m.C, symx.K(pid, p.Get("tail")),
+					symx.NewStruct("val", val))
+				m.S.Pipe.Set(m.C, symx.K(pid),
+					p.With("tail", sym.Add(p.Get("tail"), sym.Int(1))))
+				return okRet(sym.Int(1))
+			}
+			off := f.Get("off")
+			inum := f.Get("inum")
+			m.S.Data.Set(m.C, symx.K(inum, off), symx.NewStruct("val", val))
+			ino := m.S.Inode.GetFunc(m.C, symx.K(inum)).(*symx.Struct)
+			end := sym.Add(off, sym.Int(1))
+			if m.C.Branch(sym.Gt(end, ino.Get("len"))) {
+				m.S.Inode.Set(m.C, symx.K(inum), ino.With("len", end))
+			}
+			m.S.FD.Set(m.C, symx.K(proc, fd), f.With("off", end))
+			return okRet(sym.Int(1))
+		},
+	}
+}
+
+func opPread() *OpDef {
+	return &OpDef{
+		Name: "pread",
+		Args: []ArgSpec{procArg(), fdArg(), offArg("off")},
+		Exec: func(m *M, slot string, a []*sym.Expr) []*sym.Expr {
+			proc, fd, off := a[0], a[1], a[2]
+			if !m.S.FD.Contains(m.C, symx.K(proc, fd)) {
+				return errRet(EBADF)
+			}
+			f := m.S.FD.Get(m.C, symx.K(proc, fd)).(*symx.Struct)
+			if m.C.Branch(f.Get("ispipe")) {
+				return errRet(ESPIPE)
+			}
+			ino := m.S.Inode.GetFunc(m.C, symx.K(f.Get("inum"))).(*symx.Struct)
+			if m.C.Branch(sym.Ge(off, ino.Get("len"))) {
+				return okRet(sym.Int(0)) // EOF
+			}
+			v := m.S.Data.GetFunc(m.C, symx.K(f.Get("inum"), off)).(*symx.Struct)
+			return dataRet(1, v.Get("val"))
+		},
+	}
+}
+
+func opPwrite() *OpDef {
+	return &OpDef{
+		Name: "pwrite",
+		Args: []ArgSpec{procArg(), fdArg(), offArg("off"), {Name: "val", Sort: DataSort}},
+		Exec: func(m *M, slot string, a []*sym.Expr) []*sym.Expr {
+			proc, fd, off, val := a[0], a[1], a[2], a[3]
+			if !m.S.FD.Contains(m.C, symx.K(proc, fd)) {
+				return errRet(EBADF)
+			}
+			f := m.S.FD.Get(m.C, symx.K(proc, fd)).(*symx.Struct)
+			if m.C.Branch(f.Get("ispipe")) {
+				return errRet(ESPIPE)
+			}
+			inum := f.Get("inum")
+			m.S.Data.Set(m.C, symx.K(inum, off), symx.NewStruct("val", val))
+			ino := m.S.Inode.GetFunc(m.C, symx.K(inum)).(*symx.Struct)
+			end := sym.Add(off, sym.Int(1))
+			if m.C.Branch(sym.Gt(end, ino.Get("len"))) {
+				m.S.Inode.Set(m.C, symx.K(inum), ino.With("len", end))
+			}
+			return okRet(sym.Int(1))
+		},
+	}
+}
+
+func opMmap() *OpDef {
+	return &OpDef{
+		Name: "mmap",
+		Args: []ArgSpec{
+			procArg(), pageArg("page"),
+			{Name: "anon", Sort: sym.BoolSort},
+			{Name: "fixed", Sort: sym.BoolSort},
+			{Name: "wr", Sort: sym.BoolSort},
+			fdArg(), offArg("foff"),
+		},
+		Exec: func(m *M, slot string, a []*sym.Expr) []*sym.Expr {
+			proc, page, anon, fixed, wr, fd, foff := a[0], a[1], a[2], a[3], a[4], a[5], a[6]
+			var addr *sym.Expr
+			if m.C.Branch(fixed) {
+				addr = page // MAP_FIXED replaces any existing mapping
+			} else {
+				addr = m.C.Var("alloc.addr."+slot, sym.IntSort, symx.KindNondet)
+				m.C.Assume(sym.And(sym.Ge(addr, sym.Int(0)), sym.Le(addr, sym.Int(MaxPage-1))))
+				if m.S.VMA.Contains(m.C, symx.K(proc, addr)) {
+					m.C.Abort() // the kernel picks an unused address
+				}
+			}
+			if m.C.Branch(anon) {
+				m.S.VMA.Set(m.C, symx.K(proc, addr), symx.NewStruct(
+					"anon", sym.True, "inum", sym.Int(1), "foff", sym.Int(0), "wr", wr))
+				m.S.Anon.Set(m.C, symx.K(proc, addr), symx.NewStruct("val", DataZero))
+				return okRet(sym.Int(0), addr)
+			}
+			if !m.S.FD.Contains(m.C, symx.K(proc, fd)) {
+				return errRet(EBADF)
+			}
+			f := m.S.FD.Get(m.C, symx.K(proc, fd)).(*symx.Struct)
+			if m.C.Branch(f.Get("ispipe")) {
+				return errRet(ENODEV)
+			}
+			m.S.VMA.Set(m.C, symx.K(proc, addr), symx.NewStruct(
+				"anon", sym.False, "inum", f.Get("inum"), "foff", foff, "wr", wr))
+			return okRet(sym.Int(0), addr)
+		},
+	}
+}
+
+func opMunmap() *OpDef {
+	return &OpDef{
+		Name: "munmap",
+		Args: []ArgSpec{procArg(), pageArg("page")},
+		Exec: func(m *M, slot string, a []*sym.Expr) []*sym.Expr {
+			proc, page := a[0], a[1]
+			m.S.VMA.Del(m.C, symx.K(proc, page))
+			m.S.Anon.Del(m.C, symx.K(proc, page))
+			return okRet(sym.Int(0))
+		},
+	}
+}
+
+func opMprotect() *OpDef {
+	return &OpDef{
+		Name: "mprotect",
+		Args: []ArgSpec{procArg(), pageArg("page"), {Name: "wr", Sort: sym.BoolSort}},
+		Exec: func(m *M, slot string, a []*sym.Expr) []*sym.Expr {
+			proc, page, wr := a[0], a[1], a[2]
+			if !m.S.VMA.Contains(m.C, symx.K(proc, page)) {
+				return errRet(ENOMEM)
+			}
+			v := m.S.VMA.Get(m.C, symx.K(proc, page)).(*symx.Struct)
+			m.S.VMA.Set(m.C, symx.K(proc, page), v.With("wr", wr))
+			return okRet(sym.Int(0))
+		},
+	}
+}
+
+func opMemread() *OpDef {
+	return &OpDef{
+		Name: "memread",
+		Args: []ArgSpec{procArg(), pageArg("page")},
+		Exec: func(m *M, slot string, a []*sym.Expr) []*sym.Expr {
+			proc, page := a[0], a[1]
+			if !m.S.VMA.Contains(m.C, symx.K(proc, page)) {
+				return errRet(ESIGSEGV)
+			}
+			v := m.S.VMA.Get(m.C, symx.K(proc, page)).(*symx.Struct)
+			if m.C.Branch(v.Get("anon")) {
+				av := m.S.Anon.GetFunc(m.C, symx.K(proc, page)).(*symx.Struct)
+				return dataRet(0, av.Get("val"))
+			}
+			ino := m.S.Inode.GetFunc(m.C, symx.K(v.Get("inum"))).(*symx.Struct)
+			if m.C.Branch(sym.Ge(v.Get("foff"), ino.Get("len"))) {
+				return errRet(ESIGBUS)
+			}
+			dv := m.S.Data.GetFunc(m.C, symx.K(v.Get("inum"), v.Get("foff"))).(*symx.Struct)
+			return dataRet(0, dv.Get("val"))
+		},
+	}
+}
+
+func opMemwrite() *OpDef {
+	return &OpDef{
+		Name: "memwrite",
+		Args: []ArgSpec{procArg(), pageArg("page"), {Name: "val", Sort: DataSort}},
+		Exec: func(m *M, slot string, a []*sym.Expr) []*sym.Expr {
+			proc, page, val := a[0], a[1], a[2]
+			if !m.S.VMA.Contains(m.C, symx.K(proc, page)) {
+				return errRet(ESIGSEGV)
+			}
+			v := m.S.VMA.Get(m.C, symx.K(proc, page)).(*symx.Struct)
+			if !m.C.Branch(v.Get("wr")) {
+				return errRet(ESIGSEGV)
+			}
+			if m.C.Branch(v.Get("anon")) {
+				m.S.Anon.Set(m.C, symx.K(proc, page), symx.NewStruct("val", val))
+				return okRet(sym.Int(0))
+			}
+			ino := m.S.Inode.GetFunc(m.C, symx.K(v.Get("inum"))).(*symx.Struct)
+			if m.C.Branch(sym.Ge(v.Get("foff"), ino.Get("len"))) {
+				return errRet(ESIGBUS)
+			}
+			m.S.Data.Set(m.C, symx.K(v.Get("inum"), v.Get("foff")), symx.NewStruct("val", val))
+			return okRet(sym.Int(0))
+		},
+	}
+}

@@ -1,0 +1,193 @@
+// Package mtrace is a software-simulated, access-traced shared memory. It
+// plays the role of the paper's qemu-based MTRACE (§5.3): kernel
+// implementations under test perform all of their state accesses through
+// tracked cells, and after running a test case's operations on distinct
+// simulated cores, the tracer reports every access conflict — a cell
+// written by one core and read or written by another — along with the
+// cell's name, which stands in for MTRACE's DWARF-resolved C types.
+//
+// A cell models one cache line: accesses to the same cell from different
+// cores conflict regardless of byte offsets, mirroring cache-line-granular
+// coherence. Implementations decide cell placement, so false sharing is
+// expressible (two fields in one cell) and avoidable (padding = separate
+// cells), just as on real hardware.
+package mtrace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Memory is an allocator of traced cells plus the access recorder.
+// It is not safe for concurrent use: conflict checking runs operations
+// sequentially on simulated cores, which is exactly how the paper's MTRACE
+// executes test cases (it logs accesses and analyzes them afterward).
+type Memory struct {
+	recording bool
+	nextID    int
+	accesses  []Access
+}
+
+// NewMemory returns an empty traced memory.
+func NewMemory() *Memory { return &Memory{} }
+
+// Access records one read or write of a cell by a core.
+type Access struct {
+	Cell  *Cell
+	Core  int
+	Write bool
+}
+
+// Cell is one traced cache line holding an int64 payload. Composite state
+// is built from multiple cells; implementations pick the granularity.
+type Cell struct {
+	mem  *Memory
+	id   int
+	name string
+	v    int64
+}
+
+// NewCell allocates a traced cell. The name should identify the data
+// structure and field (e.g. "dentry[f0].refcnt") — it is what conflict
+// reports show, like MTRACE's type+field output.
+func (m *Memory) NewCell(name string, init int64) *Cell {
+	m.nextID++
+	return &Cell{mem: m, id: m.nextID, name: name, v: init}
+}
+
+// NewCellf allocates a traced cell with a formatted name.
+func (m *Memory) NewCellf(init int64, format string, args ...any) *Cell {
+	return m.NewCell(fmt.Sprintf(format, args...), init)
+}
+
+// Name returns the cell's diagnostic name.
+func (c *Cell) Name() string { return c.name }
+
+// ID returns the cell's unique id within its Memory; the coherence
+// simulator uses it as the cache-line identity when replaying traces.
+func (c *Cell) ID() int { return c.id }
+
+// Load reads the cell from the given core.
+func (c *Cell) Load(core int) int64 {
+	c.record(core, false)
+	return c.v
+}
+
+// Store writes the cell from the given core.
+func (c *Cell) Store(core int, v int64) {
+	c.record(core, true)
+	c.v = v
+}
+
+// Add adds delta to the cell (a read-modify-write) and returns the new
+// value.
+func (c *Cell) Add(core int, delta int64) int64 {
+	c.record(core, false)
+	c.record(core, true)
+	c.v += delta
+	return c.v
+}
+
+// Peek reads the cell without recording an access. Use only outside traced
+// regions (setup and verification code).
+func (c *Cell) Peek() int64 { return c.v }
+
+// Poke writes the cell without recording an access. Use only outside traced
+// regions.
+func (c *Cell) Poke(v int64) { c.v = v }
+
+func (c *Cell) record(core int, write bool) {
+	if c.mem.recording {
+		c.mem.accesses = append(c.mem.accesses, Access{Cell: c, Core: core, Write: write})
+	}
+}
+
+// Start clears the access log and begins recording (the test hypercall).
+func (m *Memory) Start() {
+	m.accesses = m.accesses[:0]
+	m.recording = true
+}
+
+// Stop ends recording.
+func (m *Memory) Stop() { m.recording = false }
+
+// Accesses returns the recorded access log.
+func (m *Memory) Accesses() []Access { return m.accesses }
+
+// Conflict describes a cell that was written by one core and touched by
+// another during the traced region.
+type Conflict struct {
+	// CellName identifies the shared data.
+	CellName string
+	// Writers and Readers list the cores that wrote/read the cell.
+	Writers []int
+	Readers []int
+}
+
+// Conflicts analyzes the access log and returns every conflicted cell,
+// sorted by name. A cell conflicts when some core wrote it and a different
+// core read or wrote it.
+func (m *Memory) Conflicts() []Conflict {
+	type stat struct {
+		cell    *Cell
+		writers map[int]bool
+		readers map[int]bool
+	}
+	stats := map[int]*stat{}
+	for _, a := range m.accesses {
+		s := stats[a.Cell.id]
+		if s == nil {
+			s = &stat{cell: a.Cell, writers: map[int]bool{}, readers: map[int]bool{}}
+			stats[a.Cell.id] = s
+		}
+		if a.Write {
+			s.writers[a.Core] = true
+		} else {
+			s.readers[a.Core] = true
+		}
+	}
+	var out []Conflict
+	for _, s := range stats {
+		if len(s.writers) == 0 {
+			continue
+		}
+		conflicted := len(s.writers) > 1
+		if !conflicted {
+			var w int
+			for c := range s.writers {
+				w = c
+			}
+			for c := range s.readers {
+				if c != w {
+					conflicted = true
+					break
+				}
+			}
+		}
+		if conflicted {
+			out = append(out, Conflict{
+				CellName: s.cell.name,
+				Writers:  sortedCores(s.writers),
+				Readers:  sortedCores(s.readers),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].CellName < out[j].CellName })
+	return out
+}
+
+// ConflictFree reports whether the traced region had no access conflicts.
+func (m *Memory) ConflictFree() bool { return len(m.Conflicts()) == 0 }
+
+func sortedCores(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (c Conflict) String() string {
+	return fmt.Sprintf("%s (writers %v, readers %v)", c.CellName, c.Writers, c.Readers)
+}

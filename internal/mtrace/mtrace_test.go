@@ -1,0 +1,192 @@
+package mtrace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNoConflictDisjointCells(t *testing.T) {
+	m := NewMemory()
+	a := m.NewCell("a", 0)
+	b := m.NewCell("b", 0)
+	m.Start()
+	a.Store(0, 1)
+	b.Store(1, 2)
+	m.Stop()
+	if !m.ConflictFree() {
+		t.Errorf("disjoint writes conflict: %v", m.Conflicts())
+	}
+}
+
+func TestSharedReadsDoNotConflict(t *testing.T) {
+	m := NewMemory()
+	a := m.NewCell("a", 7)
+	m.Start()
+	_ = a.Load(0)
+	_ = a.Load(1)
+	m.Stop()
+	if !m.ConflictFree() {
+		t.Errorf("read sharing conflicts: %v", m.Conflicts())
+	}
+}
+
+func TestWriteReadConflict(t *testing.T) {
+	m := NewMemory()
+	a := m.NewCell("refcnt", 0)
+	m.Start()
+	a.Store(0, 1)
+	_ = a.Load(1)
+	m.Stop()
+	cs := m.Conflicts()
+	if len(cs) != 1 || cs[0].CellName != "refcnt" {
+		t.Fatalf("conflicts = %v", cs)
+	}
+	if len(cs[0].Writers) != 1 || cs[0].Writers[0] != 0 {
+		t.Errorf("writers = %v", cs[0].Writers)
+	}
+}
+
+func TestWriteWriteConflict(t *testing.T) {
+	m := NewMemory()
+	a := m.NewCell("lock", 0)
+	m.Start()
+	a.Store(0, 1)
+	a.Store(1, 2)
+	m.Stop()
+	if m.ConflictFree() {
+		t.Error("write-write sharing not detected")
+	}
+}
+
+func TestSameCoreNeverConflicts(t *testing.T) {
+	m := NewMemory()
+	a := m.NewCell("a", 0)
+	m.Start()
+	a.Store(0, 1)
+	_ = a.Load(0)
+	a.Add(0, 5)
+	m.Stop()
+	if !m.ConflictFree() {
+		t.Errorf("single-core accesses conflict: %v", m.Conflicts())
+	}
+}
+
+func TestAddIsReadModifyWrite(t *testing.T) {
+	m := NewMemory()
+	a := m.NewCell("ctr", 10)
+	m.Start()
+	if got := a.Add(0, 5); got != 15 {
+		t.Errorf("Add = %d", got)
+	}
+	_ = a.Load(1)
+	m.Stop()
+	if m.ConflictFree() {
+		t.Error("remote read of incremented counter must conflict")
+	}
+}
+
+func TestPeekPokeUntraced(t *testing.T) {
+	m := NewMemory()
+	a := m.NewCell("a", 0)
+	m.Start()
+	a.Poke(9)
+	if a.Peek() != 9 {
+		t.Error("Poke/Peek roundtrip failed")
+	}
+	m.Stop()
+	if len(m.Accesses()) != 0 {
+		t.Error("Peek/Poke must not be recorded")
+	}
+}
+
+func TestStartClearsLog(t *testing.T) {
+	m := NewMemory()
+	a := m.NewCell("a", 0)
+	m.Start()
+	a.Store(0, 1)
+	a.Store(1, 1)
+	m.Stop()
+	m.Start()
+	m.Stop()
+	if !m.ConflictFree() {
+		t.Error("Start must clear the previous access log")
+	}
+}
+
+func TestAccessesOutsideRecordingIgnored(t *testing.T) {
+	m := NewMemory()
+	a := m.NewCell("a", 0)
+	a.Store(0, 1) // before Start
+	m.Start()
+	m.Stop()
+	a.Store(1, 2) // after Stop
+	if len(m.Accesses()) != 0 {
+		t.Error("accesses outside the traced region were recorded")
+	}
+}
+
+func TestConflictsSortedByName(t *testing.T) {
+	m := NewMemory()
+	b := m.NewCell("b", 0)
+	a := m.NewCell("a", 0)
+	m.Start()
+	b.Store(0, 1)
+	b.Store(1, 1)
+	a.Store(0, 1)
+	a.Store(1, 1)
+	m.Stop()
+	cs := m.Conflicts()
+	if len(cs) != 2 || cs[0].CellName != "a" || cs[1].CellName != "b" {
+		t.Errorf("conflicts = %v", cs)
+	}
+}
+
+// Property: a trace where every cell is touched by exactly one core is
+// always conflict-free, regardless of the access pattern.
+func TestQuickPerCoreAccessesConflictFree(t *testing.T) {
+	f := func(ops []uint8) bool {
+		m := NewMemory()
+		cells := map[int]*Cell{}
+		m.Start()
+		for _, op := range ops {
+			cellIdx := int(op>>2) % 8
+			core := cellIdx % 4 // cell → fixed core
+			c, ok := cells[cellIdx]
+			if !ok {
+				c = m.NewCellf(0, "c%d", cellIdx)
+				cells[cellIdx] = c
+			}
+			if op&1 == 0 {
+				c.Store(core, int64(op))
+			} else {
+				_ = c.Load(core)
+			}
+		}
+		m.Stop()
+		return m.ConflictFree()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: adding a remote write to any cell already touched by another
+// core creates at least one conflict.
+func TestQuickRemoteWriteConflicts(t *testing.T) {
+	f := func(firstWrite bool) bool {
+		m := NewMemory()
+		c := m.NewCell("x", 0)
+		m.Start()
+		if firstWrite {
+			c.Store(0, 1)
+		} else {
+			_ = c.Load(0)
+		}
+		c.Store(1, 2)
+		m.Stop()
+		return !m.ConflictFree()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,127 @@
+package scale
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file holds the real concurrent counterparts of the traced
+// substrates. The traced versions feed MTRACE conflict analysis and the
+// coherence simulator; these run on the host's actual cores so the
+// benchmarks can corroborate the simulator's shapes on real hardware
+// (§7's claim that conflict-free implementations scale and single shared
+// cache lines do not).
+
+// pad fills the rest of a cache line so adjacent counters never share one.
+type paddedCounter struct {
+	v atomic.Int64
+	_ [7]int64
+}
+
+// RealSharedCounter is one atomic counter on one cache line: every
+// increment from every core contends.
+type RealSharedCounter struct {
+	v atomic.Int64
+	_ [7]int64
+}
+
+// Inc adds delta.
+func (c *RealSharedCounter) Inc(delta int64) { c.v.Add(delta) }
+
+// Read returns the value.
+func (c *RealSharedCounter) Read() int64 { return c.v.Load() }
+
+// RealRefcache is the Refcache-style scalable counter: per-slot padded
+// deltas. Slots map to goroutines/cores; increments touch only the
+// caller's line, reads reconcile all lines.
+type RealRefcache struct {
+	base  atomic.Int64
+	slots []paddedCounter
+}
+
+// NewRealRefcache allocates a counter with the given slot count.
+func NewRealRefcache(slots int, init int64) *RealRefcache {
+	r := &RealRefcache{slots: make([]paddedCounter, slots)}
+	r.base.Store(init)
+	return r
+}
+
+// Inc adds delta from the given slot.
+func (r *RealRefcache) Inc(slot int, delta int64) {
+	r.slots[slot].v.Add(delta)
+}
+
+// Read reconciles the true value (reads every slot's line).
+func (r *RealRefcache) Read() int64 {
+	v := r.base.Load()
+	for i := range r.slots {
+		v += r.slots[i].v.Load()
+	}
+	return v
+}
+
+// RealIDAlloc allocates identifiers from per-slot pools: id = n*slots+slot,
+// never reused, no shared state.
+type RealIDAlloc struct {
+	n     int
+	slots []paddedCounter
+}
+
+// NewRealIDAlloc allocates an id allocator.
+func NewRealIDAlloc(slots int) *RealIDAlloc {
+	return &RealIDAlloc{n: slots, slots: make([]paddedCounter, slots)}
+}
+
+// Alloc returns a fresh id using only the slot's line.
+func (a *RealIDAlloc) Alloc(slot int) int64 {
+	n := a.slots[slot].v.Add(1) - 1
+	return n*int64(a.n) + int64(slot)
+}
+
+// RealLowestFD implements POSIX's lowest-available-descriptor rule the way
+// a faithful implementation must: a shared bitmap under a lock.
+type RealLowestFD struct {
+	mu   sync.Mutex
+	used []bool
+}
+
+// NewRealLowestFD allocates a table with the given capacity.
+func NewRealLowestFD(capacity int) *RealLowestFD {
+	return &RealLowestFD{used: make([]bool, capacity)}
+}
+
+// Alloc returns the lowest free descriptor, or -1 when full.
+func (t *RealLowestFD) Alloc() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, u := range t.used {
+		if !u {
+			t.used[i] = true
+			return int64(i)
+		}
+	}
+	return -1
+}
+
+// Free releases a descriptor.
+func (t *RealLowestFD) Free(fd int64) {
+	t.mu.Lock()
+	t.used[fd] = false
+	t.mu.Unlock()
+}
+
+// RealAnyFD implements O_ANYFD: per-slot descriptor partitions with no
+// shared state at all.
+type RealAnyFD struct {
+	alloc *RealIDAlloc
+}
+
+// NewRealAnyFD allocates the partitioned table.
+func NewRealAnyFD(slots int) *RealAnyFD { return &RealAnyFD{alloc: NewRealIDAlloc(slots)} }
+
+// Alloc returns an unused descriptor for the slot.
+func (t *RealAnyFD) Alloc(slot int) int64 { return t.alloc.Alloc(slot) }
+
+// Free is a no-op: the partitioned space is large and ids are not reused
+// within a benchmark run (ScaleFS's defer-work pattern).
+func (t *RealAnyFD) Free(int64) {}

@@ -1,0 +1,382 @@
+// Package scale implements the scalable-implementation substrates that
+// ScaleFS and RadixVM build on (§6.3 of the paper): Refcache-style scalable
+// reference counters, per-core identifier allocation, radix arrays, hash
+// directories with per-bucket locks, and seqlocks — plus their conventional
+// non-scalable counterparts (shared counters, coarse locks) used by the
+// Linux-like baseline kernel.
+//
+// Everything here operates on mtrace cells so the MTRACE checker can decide
+// conflict-freedom; package scale also has real concurrent counterparts
+// (see real.go) used by the hardware benchmarks.
+package scale
+
+import (
+	"fmt"
+
+	"repro/internal/mtrace"
+)
+
+// NCores is the number of simulated cores traced kernels provision for.
+// Conflict tests use two; the Figure 7 curves replay traces for up to 80,
+// matching the paper's testbed.
+const NCores = 96
+
+// SharedCounter is the conventional counter: one cell, so every increment
+// conflicts with every other access — the "shared st_nlink" configuration
+// of statbench.
+type SharedCounter struct {
+	cell *mtrace.Cell
+}
+
+// NewSharedCounter allocates a shared counter.
+func NewSharedCounter(mem *mtrace.Memory, name string, init int64) *SharedCounter {
+	return &SharedCounter{cell: mem.NewCell(name, init)}
+}
+
+// Inc adds delta from core.
+func (c *SharedCounter) Inc(core int, delta int64) { c.cell.Add(core, delta) }
+
+// Read returns the value from core.
+func (c *SharedCounter) Read(core int) int64 { return c.cell.Load(core) }
+
+// Set stores the value from core.
+func (c *SharedCounter) Set(core int, v int64) { c.cell.Store(core, v) }
+
+// Peek reads without tracing (setup/verification only).
+func (c *SharedCounter) Peek() int64 { return c.cell.Peek() }
+
+// Poke writes without tracing (setup only).
+func (c *SharedCounter) Poke(v int64) { c.cell.Poke(v) }
+
+// Refcache is a scalable reference counter modeled on Refcache [15]: each
+// core holds a private delta cell (its own cache line), so increments and
+// decrements are conflict-free across cores. Reading the true value must
+// reconcile every per-core delta, which conflicts with concurrent updates —
+// the cost statbench's fstat-with-Refcache configuration pays, and the cost
+// fstatx avoids by not asking for the link count.
+type Refcache struct {
+	base   *mtrace.Cell
+	deltas [NCores]*mtrace.Cell
+}
+
+// NewRefcache allocates a Refcache counter.
+func NewRefcache(mem *mtrace.Memory, name string, init int64) *Refcache {
+	r := &Refcache{base: mem.NewCell(name+".base", init)}
+	for i := range r.deltas {
+		r.deltas[i] = mem.NewCellf(0, "%s.delta[%d]", name, i)
+	}
+	return r
+}
+
+// Inc adds delta using only the invoking core's cache line.
+func (r *Refcache) Inc(core int, delta int64) { r.deltas[core].Add(core, delta) }
+
+// Read reconciles and returns the true count; it reads every core's delta
+// cell, so it is conflict-free only against other readers.
+func (r *Refcache) Read(core int) int64 {
+	v := r.base.Load(core)
+	for _, d := range r.deltas {
+		v += d.Load(core)
+	}
+	return v
+}
+
+// Peek reads the true count without tracing.
+func (r *Refcache) Peek() int64 {
+	v := r.base.Peek()
+	for _, d := range r.deltas {
+		v += d.Peek()
+	}
+	return v
+}
+
+// Poke resets the count without tracing (setup only).
+func (r *Refcache) Poke(v int64) {
+	r.base.Poke(v)
+	for _, d := range r.deltas {
+		d.Poke(0)
+	}
+}
+
+// IDAlloc allocates identifiers scalably: each core owns a monotonic
+// counter whose values are interleaved by core number (id = n*NCores +
+// core), ScaleFS's "per-core counter concatenated with the core number"
+// scheme for inode numbers. Allocations on different cores are
+// conflict-free and never collide, and identifiers are never reused.
+type IDAlloc struct {
+	next [NCores]*mtrace.Cell
+}
+
+// NewIDAlloc allocates an id allocator whose ids start at base.
+func NewIDAlloc(mem *mtrace.Memory, name string, base int64) *IDAlloc {
+	a := &IDAlloc{}
+	for i := range a.next {
+		a.next[i] = mem.NewCellf(base, "%s.next[%d]", name, i)
+	}
+	return a
+}
+
+// Alloc returns a fresh identifier using only core-local state.
+func (a *IDAlloc) Alloc(core int) int64 {
+	n := a.next[core].Load(core)
+	a.next[core].Store(core, n+1)
+	return n*NCores + int64(core)
+}
+
+// SpinLock is a test-and-set lock on one cell. Acquire/Release are
+// read-modify-writes, so any two critical sections on different cores
+// conflict — the signature of coarse-grained locking.
+type SpinLock struct {
+	cell *mtrace.Cell
+}
+
+// NewSpinLock allocates a lock.
+func NewSpinLock(mem *mtrace.Memory, name string) *SpinLock {
+	return &SpinLock{cell: mem.NewCell(name, 0)}
+}
+
+// Acquire takes the lock from core. The traced execution is sequential, so
+// the lock is always free; the point is the recorded write.
+func (l *SpinLock) Acquire(core int) {
+	if l.cell.Add(core, 1) != 1 {
+		panic("scale: lock " + l.cell.Name() + " already held")
+	}
+}
+
+// Release drops the lock.
+func (l *SpinLock) Release(core int) {
+	if l.cell.Add(core, -1) != 0 {
+		panic("scale: lock " + l.cell.Name() + " not held")
+	}
+}
+
+// Seqlock lets writers version a record so lock-free readers can detect
+// concurrent updates. Readers read only the version cell (shared-mode
+// cacheable); writers bump it twice around the update.
+type Seqlock struct {
+	version *mtrace.Cell
+}
+
+// NewSeqlock allocates a seqlock.
+func NewSeqlock(mem *mtrace.Memory, name string) *Seqlock {
+	return &Seqlock{version: mem.NewCell(name, 0)}
+}
+
+// ReadBegin returns the version for a read-side critical section.
+func (s *Seqlock) ReadBegin(core int) int64 { return s.version.Load(core) }
+
+// ReadRetry reports whether the section observed a concurrent write.
+func (s *Seqlock) ReadRetry(core int, v int64) bool {
+	return s.version.Load(core) != v || v%2 != 0
+}
+
+// WriteBegin enters a write-side critical section.
+func (s *Seqlock) WriteBegin(core int) { s.version.Add(core, 1) }
+
+// WriteEnd leaves a write-side critical section.
+func (s *Seqlock) WriteEnd(core int) { s.version.Add(core, 1) }
+
+// HashDir is a directory represented as a fixed-size hash table with an
+// independent lock and entry list per bucket (§1's file-creation example):
+// operations on names that hash to different buckets are conflict-free.
+type HashDir struct {
+	mem     *mtrace.Memory
+	name    string
+	buckets []*dirBucket
+}
+
+type dirBucket struct {
+	lock *SpinLock
+	// entries maps name id -> entry cell holding the inode number; a
+	// nil/absent entry means the name is unbound. Each entry is its own
+	// cell so lookups of different names in one bucket stay conflict-
+	// free (only bucket membership changes touch the list cell).
+	list    *mtrace.Cell // version of the bucket's entry list
+	entries map[int64]*mtrace.Cell
+}
+
+// NewHashDir allocates a directory with the given bucket count.
+func NewHashDir(mem *mtrace.Memory, name string, nbuckets int) *HashDir {
+	d := &HashDir{mem: mem, name: name}
+	for i := 0; i < nbuckets; i++ {
+		d.buckets = append(d.buckets, &dirBucket{
+			lock:    NewSpinLock(mem, fmt.Sprintf("%s.bucket[%d].lock", name, i)),
+			list:    mem.NewCellf(0, "%s.bucket[%d].list", name, i),
+			entries: map[int64]*mtrace.Cell{},
+		})
+	}
+	return d
+}
+
+func (d *HashDir) bucket(name int64) *dirBucket {
+	// SplitMix64-style finalizer: high bits feed back into the low bits
+	// that select the bucket, so structured name spaces spread evenly.
+	h := uint64(name) * 0x9E3779B97F4A7C15
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	return d.buckets[h%uint64(len(d.buckets))]
+}
+
+// Lookup returns the inode bound to name, or (0, false). It reads the
+// bucket's list version and the entry cell only.
+func (d *HashDir) Lookup(core int, name int64) (int64, bool) {
+	b := d.bucket(name)
+	_ = b.list.Load(core)
+	e, ok := b.entries[name]
+	if !ok || e.Load(core) == 0 {
+		return 0, false
+	}
+	return e.Load(core), true
+}
+
+// Exists reports whether name is bound, reading the same cells as Lookup.
+// It exists as a distinct entry point because ScaleFS's "don't read unless
+// necessary" pattern needs a name-existence check that skips the inode.
+func (d *HashDir) Exists(core int, name int64) bool {
+	_, ok := d.Lookup(core, name)
+	return ok
+}
+
+// Insert binds name to inum under the bucket lock; it fails when the name
+// is already bound.
+func (d *HashDir) Insert(core int, name, inum int64) bool {
+	b := d.bucket(name)
+	b.lock.Acquire(core)
+	defer b.lock.Release(core)
+	e, ok := b.entries[name]
+	if ok && e.Load(core) != 0 {
+		return false
+	}
+	if !ok {
+		e = d.mem.NewCellf(0, "%s.entry[%d]", d.name, name)
+		b.entries[name] = e
+		b.list.Add(core, 1)
+	}
+	e.Store(core, inum)
+	return true
+}
+
+// Remove unbinds name; it reports whether the name was bound.
+func (d *HashDir) Remove(core int, name int64) (int64, bool) {
+	b := d.bucket(name)
+	b.lock.Acquire(core)
+	defer b.lock.Release(core)
+	e, ok := b.entries[name]
+	if !ok || e.Load(core) == 0 {
+		return 0, false
+	}
+	old := e.Load(core)
+	e.Store(core, 0)
+	return old, true
+}
+
+// Replace binds name to inum regardless of a prior binding, returning the
+// old inode (0 if none). rename's destination update uses this.
+func (d *HashDir) Replace(core int, name, inum int64) int64 {
+	b := d.bucket(name)
+	b.lock.Acquire(core)
+	defer b.lock.Release(core)
+	e, ok := b.entries[name]
+	if !ok {
+		e = d.mem.NewCellf(0, "%s.entry[%d]", d.name, name)
+		b.entries[name] = e
+		b.list.Add(core, 1)
+	}
+	old := e.Load(core)
+	e.Store(core, inum)
+	return old
+}
+
+// PokeInsert binds a name without tracing (setup only).
+func (d *HashDir) PokeInsert(name, inum int64) {
+	b := d.bucket(name)
+	e, ok := b.entries[name]
+	if !ok {
+		e = d.mem.NewCellf(0, "%s.entry[%d]", d.name, name)
+		b.entries[name] = e
+	}
+	e.Poke(inum)
+}
+
+// Radix is a two-level radix array (RadixVM's core structure): every slot
+// is its own cell, so reads and writes of different keys are conflict-free,
+// in contrast with balanced trees whose rebalancing shares interior nodes.
+type Radix struct {
+	mem   *mtrace.Memory
+	name  string
+	fan   int64
+	roots map[int64]*radixNode
+}
+
+type radixNode struct {
+	present *mtrace.Cell // interior slot: nonzero when the leaf array exists
+	leaves  map[int64]*mtrace.Cell
+}
+
+// NewRadix allocates a radix array with the given fanout.
+func NewRadix(mem *mtrace.Memory, name string, fan int64) *Radix {
+	return &Radix{mem: mem, name: name, fan: fan, roots: map[int64]*radixNode{}}
+}
+
+func (r *Radix) node(key int64) *radixNode {
+	slot := key / r.fan
+	n, ok := r.roots[slot]
+	if !ok {
+		n = &radixNode{
+			present: r.mem.NewCellf(0, "%s.node[%d]", r.name, slot),
+			leaves:  map[int64]*mtrace.Cell{},
+		}
+		r.roots[slot] = n
+	}
+	return n
+}
+
+func (r *Radix) leaf(key int64) *mtrace.Cell {
+	n := r.node(key)
+	l, ok := n.leaves[key]
+	if !ok {
+		l = r.mem.NewCellf(0, "%s.leaf[%d]", r.name, key)
+		n.leaves[key] = l
+	}
+	return l
+}
+
+// Get reads the value at key (0 when never set).
+func (r *Radix) Get(core int, key int64) int64 {
+	n := r.node(key)
+	if n.present.Load(core) == 0 {
+		return 0
+	}
+	return r.leaf(key).Load(core)
+}
+
+// Set stores the value at key, materializing the interior slot on first
+// touch.
+func (r *Radix) Set(core int, key int64, v int64) {
+	n := r.node(key)
+	if n.present.Load(core) == 0 {
+		n.present.Store(core, 1)
+	}
+	r.leaf(key).Store(core, v)
+}
+
+// Poke stores without tracing (setup only).
+func (r *Radix) Poke(key int64, v int64) {
+	n := r.node(key)
+	n.present.Poke(1)
+	r.leaf(key).Poke(v)
+}
+
+// Materialize pre-populates the interior nodes covering keys [0, n)
+// untraced, so first writes in that range touch only their own leaf cells.
+// RadixVM similarly eagerly allocates interior nodes to keep concurrent
+// first-touch of different slots conflict-free.
+func (r *Radix) Materialize(n int64) {
+	for k := int64(0); k < n; k += r.fan {
+		r.node(k).present.Poke(1)
+	}
+	if n > 0 {
+		r.node(n - 1).present.Poke(1)
+	}
+}

@@ -1,0 +1,501 @@
+// Package sym implements a small symbolic-expression engine and a
+// finite-model constraint solver. It stands in for the Z3 SMT solver that
+// the COMMUTER prototype used: the POSIX interface model only generates
+// constraints in the quantifier-free theory of equality over uninterpreted
+// sorts plus bounded linear integer arithmetic and booleans, for which
+// bounded model search with constraint propagation is complete.
+package sym
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// SortKind distinguishes the three value sorts the engine supports.
+type SortKind int
+
+const (
+	// KindBool is the sort of boolean expressions.
+	KindBool SortKind = iota
+	// KindInt is the sort of (mathematical) integer expressions.
+	KindInt
+	// KindUnint is an uninterpreted sort: values support only equality.
+	KindUnint
+)
+
+// Sort identifies the sort of an expression. Uninterpreted sorts are
+// distinguished by name ("Filename", "Inode", ...).
+type Sort struct {
+	Kind SortKind
+	Name string
+}
+
+// BoolSort and IntSort are the built-in interpreted sorts.
+var (
+	BoolSort = Sort{Kind: KindBool}
+	IntSort  = Sort{Kind: KindInt}
+)
+
+// Uninterpreted returns the uninterpreted sort with the given name.
+func Uninterpreted(name string) Sort { return Sort{Kind: KindUnint, Name: name} }
+
+func (s Sort) String() string {
+	switch s.Kind {
+	case KindBool:
+		return "Bool"
+	case KindInt:
+		return "Int"
+	default:
+		return s.Name
+	}
+}
+
+// Op enumerates expression node kinds.
+type Op int
+
+const (
+	// OpConst is a literal boolean or integer (or uninterpreted-sort
+	// element identified by a small integer).
+	OpConst Op = iota
+	// OpVar is a free variable.
+	OpVar
+	// OpNot, OpAnd, OpOr are the boolean connectives.
+	OpNot
+	OpAnd
+	OpOr
+	// OpEq is equality at any sort; OpLt and OpLe compare integers.
+	OpEq
+	OpLt
+	OpLe
+	// OpAdd, OpSub, OpMul are integer arithmetic.
+	OpAdd
+	OpSub
+	OpMul
+	// OpIte is if-then-else: Ite(cond, then, else).
+	OpIte
+)
+
+// Expr is an immutable symbolic expression node. Construct expressions with
+// the package-level constructor functions, which simplify eagerly.
+type Expr struct {
+	Op   Op
+	Sort Sort
+	// Int holds the value for integer constants and the element id for
+	// uninterpreted-sort constants; Bool holds boolean constant values.
+	Int  int64
+	Bool bool
+	// Name is the variable name for OpVar nodes; VarID is its interned
+	// id, used by the solver for array-indexed assignments.
+	Name  string
+	VarID int
+	Args  []*Expr
+}
+
+// Variable names are interned process-wide so solver assignments can be
+// dense arrays instead of string-keyed maps (the solver's hot path).
+var (
+	varMu  sync.Mutex
+	varIDs = map[string]int{}
+)
+
+func internVar(name string) int {
+	varMu.Lock()
+	defer varMu.Unlock()
+	id, ok := varIDs[name]
+	if !ok {
+		id = len(varIDs)
+		varIDs[name] = id
+	}
+	return id
+}
+
+var (
+	// True and False are the boolean constants.
+	True  = &Expr{Op: OpConst, Sort: BoolSort, Bool: true}
+	False = &Expr{Op: OpConst, Sort: BoolSort, Bool: false}
+)
+
+// Int returns the integer constant v.
+func Int(v int64) *Expr { return &Expr{Op: OpConst, Sort: IntSort, Int: v} }
+
+// Bool returns the boolean constant v.
+func Bool(v bool) *Expr {
+	if v {
+		return True
+	}
+	return False
+}
+
+// Const returns element id of an uninterpreted sort as a constant. TESTGEN
+// uses these to pin isomorphism-class representatives.
+func Const(s Sort, id int64) *Expr {
+	if s.Kind != KindUnint {
+		panic("sym: Const requires an uninterpreted sort")
+	}
+	return &Expr{Op: OpConst, Sort: s, Int: id}
+}
+
+// Var returns a free variable with the given name and sort.
+func Var(name string, s Sort) *Expr {
+	return &Expr{Op: OpVar, Sort: s, Name: name, VarID: internVar(name)}
+}
+
+// IsConst reports whether e is a literal constant.
+func (e *Expr) IsConst() bool { return e.Op == OpConst }
+
+// IsTrue and IsFalse report whether e is the respective boolean constant.
+func (e *Expr) IsTrue() bool  { return e.Op == OpConst && e.Sort.Kind == KindBool && e.Bool }
+func (e *Expr) IsFalse() bool { return e.Op == OpConst && e.Sort.Kind == KindBool && !e.Bool }
+
+func sameConst(a, b *Expr) bool {
+	if a.Sort != b.Sort {
+		return false
+	}
+	if a.Sort.Kind == KindBool {
+		return a.Bool == b.Bool
+	}
+	return a.Int == b.Int
+}
+
+// structEq reports syntactic equality of two expressions.
+func structEq(a, b *Expr) bool {
+	if a == b {
+		return true
+	}
+	if a.Op != b.Op || a.Sort != b.Sort || len(a.Args) != len(b.Args) {
+		return false
+	}
+	switch a.Op {
+	case OpConst:
+		return sameConst(a, b)
+	case OpVar:
+		return a.Name == b.Name
+	}
+	for i := range a.Args {
+		if !structEq(a.Args[i], b.Args[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Not returns the negation of a, simplified.
+func Not(a *Expr) *Expr {
+	if a.Sort.Kind != KindBool {
+		panic("sym: Not on non-boolean")
+	}
+	switch {
+	case a.IsTrue():
+		return False
+	case a.IsFalse():
+		return True
+	case a.Op == OpNot:
+		return a.Args[0]
+	}
+	return &Expr{Op: OpNot, Sort: BoolSort, Args: []*Expr{a}}
+}
+
+// And returns the conjunction of args, flattened and simplified.
+func And(args ...*Expr) *Expr {
+	var flat []*Expr
+	for _, a := range args {
+		if a.Sort.Kind != KindBool {
+			panic("sym: And on non-boolean")
+		}
+		switch {
+		case a.IsFalse():
+			return False
+		case a.IsTrue():
+			continue
+		case a.Op == OpAnd:
+			flat = append(flat, a.Args...)
+		default:
+			flat = append(flat, a)
+		}
+	}
+	flat = dedup(flat)
+	switch len(flat) {
+	case 0:
+		return True
+	case 1:
+		return flat[0]
+	}
+	return &Expr{Op: OpAnd, Sort: BoolSort, Args: flat}
+}
+
+// Or returns the disjunction of args, flattened and simplified.
+func Or(args ...*Expr) *Expr {
+	var flat []*Expr
+	for _, a := range args {
+		if a.Sort.Kind != KindBool {
+			panic("sym: Or on non-boolean")
+		}
+		switch {
+		case a.IsTrue():
+			return True
+		case a.IsFalse():
+			continue
+		case a.Op == OpOr:
+			flat = append(flat, a.Args...)
+		default:
+			flat = append(flat, a)
+		}
+	}
+	flat = dedup(flat)
+	switch len(flat) {
+	case 0:
+		return False
+	case 1:
+		return flat[0]
+	}
+	return &Expr{Op: OpOr, Sort: BoolSort, Args: flat}
+}
+
+func dedup(args []*Expr) []*Expr {
+	var out []*Expr
+outer:
+	for _, a := range args {
+		for _, b := range out {
+			if structEq(a, b) {
+				continue outer
+			}
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// Implies returns a → b.
+func Implies(a, b *Expr) *Expr { return Or(Not(a), b) }
+
+// Eq returns a == b; the operands must share a sort.
+func Eq(a, b *Expr) *Expr {
+	if a.Sort != b.Sort {
+		panic(fmt.Sprintf("sym: Eq sort mismatch: %v vs %v", a.Sort, b.Sort))
+	}
+	if a.IsConst() && b.IsConst() {
+		return Bool(sameConst(a, b))
+	}
+	if structEq(a, b) {
+		return True
+	}
+	if a.Sort.Kind == KindBool {
+		switch {
+		case a.IsTrue():
+			return b
+		case a.IsFalse():
+			return Not(b)
+		case b.IsTrue():
+			return a
+		case b.IsFalse():
+			return Not(a)
+		}
+	}
+	// Canonical argument order keeps dedup effective.
+	if exprKey(b) < exprKey(a) {
+		a, b = b, a
+	}
+	return &Expr{Op: OpEq, Sort: BoolSort, Args: []*Expr{a, b}}
+}
+
+// Ne returns a != b.
+func Ne(a, b *Expr) *Expr { return Not(Eq(a, b)) }
+
+// Lt returns the integer comparison a < b.
+func Lt(a, b *Expr) *Expr {
+	checkInt("Lt", a, b)
+	if a.IsConst() && b.IsConst() {
+		return Bool(a.Int < b.Int)
+	}
+	if structEq(a, b) {
+		return False
+	}
+	return &Expr{Op: OpLt, Sort: BoolSort, Args: []*Expr{a, b}}
+}
+
+// Le returns the integer comparison a <= b.
+func Le(a, b *Expr) *Expr {
+	checkInt("Le", a, b)
+	if a.IsConst() && b.IsConst() {
+		return Bool(a.Int <= b.Int)
+	}
+	if structEq(a, b) {
+		return True
+	}
+	return &Expr{Op: OpLe, Sort: BoolSort, Args: []*Expr{a, b}}
+}
+
+// Gt and Ge are the flipped comparisons.
+func Gt(a, b *Expr) *Expr { return Lt(b, a) }
+func Ge(a, b *Expr) *Expr { return Le(b, a) }
+
+func checkInt(op string, args ...*Expr) {
+	for _, a := range args {
+		if a.Sort.Kind != KindInt {
+			panic("sym: " + op + " on non-integer")
+		}
+	}
+}
+
+// Add returns a + b.
+func Add(a, b *Expr) *Expr {
+	checkInt("Add", a, b)
+	if a.IsConst() && b.IsConst() {
+		return Int(a.Int + b.Int)
+	}
+	if a.IsConst() && a.Int == 0 {
+		return b
+	}
+	if b.IsConst() && b.Int == 0 {
+		return a
+	}
+	return &Expr{Op: OpAdd, Sort: IntSort, Args: []*Expr{a, b}}
+}
+
+// Sub returns a - b.
+func Sub(a, b *Expr) *Expr {
+	checkInt("Sub", a, b)
+	if a.IsConst() && b.IsConst() {
+		return Int(a.Int - b.Int)
+	}
+	if b.IsConst() && b.Int == 0 {
+		return a
+	}
+	if structEq(a, b) {
+		return Int(0)
+	}
+	return &Expr{Op: OpSub, Sort: IntSort, Args: []*Expr{a, b}}
+}
+
+// Mul returns a * b.
+func Mul(a, b *Expr) *Expr {
+	checkInt("Mul", a, b)
+	if a.IsConst() && b.IsConst() {
+		return Int(a.Int * b.Int)
+	}
+	if a.IsConst() {
+		a, b = b, a
+	}
+	if b.IsConst() {
+		switch b.Int {
+		case 0:
+			return Int(0)
+		case 1:
+			return a
+		}
+	}
+	return &Expr{Op: OpMul, Sort: IntSort, Args: []*Expr{a, b}}
+}
+
+// Ite returns if cond then a else b; a and b must share a sort.
+func Ite(cond, a, b *Expr) *Expr {
+	if cond.Sort.Kind != KindBool {
+		panic("sym: Ite condition must be boolean")
+	}
+	if a.Sort != b.Sort {
+		panic("sym: Ite branch sort mismatch")
+	}
+	switch {
+	case cond.IsTrue():
+		return a
+	case cond.IsFalse():
+		return b
+	case structEq(a, b):
+		return a
+	}
+	if a.Sort.Kind == KindBool {
+		// Encode boolean ITE with connectives so the solver's
+		// propagation sees through it.
+		return Or(And(cond, a), And(Not(cond), b))
+	}
+	return &Expr{Op: OpIte, Sort: a.Sort, Args: []*Expr{cond, a, b}}
+}
+
+// Vars returns the free variables of e, sorted by name.
+func Vars(e *Expr) []*Expr {
+	seen := map[string]*Expr{}
+	collectVars(e, seen)
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*Expr, len(names))
+	for i, n := range names {
+		out[i] = seen[n]
+	}
+	return out
+}
+
+func collectVars(e *Expr, seen map[string]*Expr) {
+	if e.Op == OpVar {
+		seen[e.Name] = e
+		return
+	}
+	for _, a := range e.Args {
+		collectVars(a, seen)
+	}
+}
+
+// String renders the expression in a Lisp-like prefix form.
+func (e *Expr) String() string {
+	var b strings.Builder
+	e.write(&b)
+	return b.String()
+}
+
+func (e *Expr) write(b *strings.Builder) {
+	switch e.Op {
+	case OpConst:
+		switch e.Sort.Kind {
+		case KindBool:
+			fmt.Fprintf(b, "%v", e.Bool)
+		case KindInt:
+			fmt.Fprintf(b, "%d", e.Int)
+		default:
+			fmt.Fprintf(b, "%s!%d", e.Sort.Name, e.Int)
+		}
+	case OpVar:
+		b.WriteString(e.Name)
+	default:
+		b.WriteByte('(')
+		b.WriteString(opName(e.Op))
+		for _, a := range e.Args {
+			b.WriteByte(' ')
+			a.write(b)
+		}
+		b.WriteByte(')')
+	}
+}
+
+func opName(op Op) string {
+	switch op {
+	case OpNot:
+		return "not"
+	case OpAnd:
+		return "and"
+	case OpOr:
+		return "or"
+	case OpEq:
+		return "="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpIte:
+		return "ite"
+	default:
+		return "?"
+	}
+}
+
+// exprKey returns a total-order key used only for canonicalization.
+func exprKey(e *Expr) string { return e.String() }

@@ -1,0 +1,649 @@
+package sym
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Value is a concrete value assigned to a variable by a model.
+type Value struct {
+	Sort Sort
+	Int  int64 // integer value, or uninterpreted element id
+	Bool bool
+}
+
+func (v Value) String() string {
+	switch v.Sort.Kind {
+	case KindBool:
+		return fmt.Sprintf("%v", v.Bool)
+	case KindInt:
+		return fmt.Sprintf("%d", v.Int)
+	default:
+		return fmt.Sprintf("%s!%d", v.Sort.Name, v.Int)
+	}
+}
+
+// Model maps variable names to concrete values.
+type Model map[string]Value
+
+// Eval evaluates e under m; it panics if e contains variables not bound by m.
+func (m Model) Eval(e *Expr) Value {
+	v, ok := partialEval(e, m)
+	if !ok {
+		panic("sym: Eval with incomplete model for " + e.String())
+	}
+	return v
+}
+
+// EvalBool evaluates a boolean expression under m.
+func (m Model) EvalBool(e *Expr) bool { return m.Eval(e).Bool }
+
+// TryEval evaluates e as far as m determines it; ok reports whether the
+// value is decided. Useful as a cheap satisfiability witness check.
+func (m Model) TryEval(e *Expr) (Value, bool) { return partialEval(e, m) }
+
+// EvalInt evaluates an integer or uninterpreted expression under m.
+func (m Model) EvalInt(e *Expr) int64 { return m.Eval(e).Int }
+
+// Clone returns a copy of the model.
+func (m Model) Clone() Model {
+	out := make(Model, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// partialEval evaluates e as far as the (possibly partial) assignment
+// allows. The second result reports whether the value is determined. Boolean
+// connectives short-circuit so that, e.g., a conjunction with one known-false
+// conjunct is known false even when other conjuncts mention unassigned
+// variables — this drives search-space pruning.
+func partialEval(e *Expr, m Model) (Value, bool) {
+	switch e.Op {
+	case OpConst:
+		return Value{Sort: e.Sort, Int: e.Int, Bool: e.Bool}, true
+	case OpVar:
+		v, ok := m[e.Name]
+		return v, ok
+	case OpNot:
+		v, ok := partialEval(e.Args[0], m)
+		if !ok {
+			return Value{}, false
+		}
+		return Value{Sort: BoolSort, Bool: !v.Bool}, true
+	case OpAnd:
+		all := true
+		for _, a := range e.Args {
+			v, ok := partialEval(a, m)
+			if !ok {
+				all = false
+				continue
+			}
+			if !v.Bool {
+				return Value{Sort: BoolSort, Bool: false}, true
+			}
+		}
+		return Value{Sort: BoolSort, Bool: true}, all
+	case OpOr:
+		all := true
+		for _, a := range e.Args {
+			v, ok := partialEval(a, m)
+			if !ok {
+				all = false
+				continue
+			}
+			if v.Bool {
+				return Value{Sort: BoolSort, Bool: true}, true
+			}
+		}
+		return Value{Sort: BoolSort, Bool: false}, all
+	case OpEq:
+		a, aok := partialEval(e.Args[0], m)
+		b, bok := partialEval(e.Args[1], m)
+		if !aok || !bok {
+			return Value{}, false
+		}
+		var eq bool
+		if a.Sort.Kind == KindBool {
+			eq = a.Bool == b.Bool
+		} else {
+			eq = a.Int == b.Int
+		}
+		return Value{Sort: BoolSort, Bool: eq}, true
+	case OpLt, OpLe:
+		a, aok := partialEval(e.Args[0], m)
+		b, bok := partialEval(e.Args[1], m)
+		if !aok || !bok {
+			return Value{}, false
+		}
+		if e.Op == OpLt {
+			return Value{Sort: BoolSort, Bool: a.Int < b.Int}, true
+		}
+		return Value{Sort: BoolSort, Bool: a.Int <= b.Int}, true
+	case OpAdd, OpSub, OpMul:
+		a, aok := partialEval(e.Args[0], m)
+		b, bok := partialEval(e.Args[1], m)
+		if !aok || !bok {
+			return Value{}, false
+		}
+		var r int64
+		switch e.Op {
+		case OpAdd:
+			r = a.Int + b.Int
+		case OpSub:
+			r = a.Int - b.Int
+		default:
+			r = a.Int * b.Int
+		}
+		return Value{Sort: IntSort, Int: r}, true
+	case OpIte:
+		c, cok := partialEval(e.Args[0], m)
+		if !cok {
+			// Both branches agreeing would still determine the value.
+			a, aok := partialEval(e.Args[1], m)
+			b, bok := partialEval(e.Args[2], m)
+			if aok && bok && a.Sort == b.Sort && a.Int == b.Int && a.Bool == b.Bool {
+				return a, true
+			}
+			return Value{}, false
+		}
+		if c.Bool {
+			return partialEval(e.Args[1], m)
+		}
+		return partialEval(e.Args[2], m)
+	}
+	panic("sym: unknown op")
+}
+
+// asn is the solver's internal assignment: dense arrays indexed by the
+// interned variable id, avoiding string hashing on the search hot path.
+type asn struct {
+	vals []Value
+	set  []bool
+}
+
+// evalIdx mirrors partialEval over an array-indexed assignment. The two
+// evaluators must stay in sync; evalIdx exists because assignment lookups
+// dominate the solver's profile.
+func evalIdx(e *Expr, a *asn) (Value, bool) {
+	switch e.Op {
+	case OpConst:
+		return Value{Sort: e.Sort, Int: e.Int, Bool: e.Bool}, true
+	case OpVar:
+		if e.VarID < len(a.set) && a.set[e.VarID] {
+			return a.vals[e.VarID], true
+		}
+		return Value{}, false
+	case OpNot:
+		v, ok := evalIdx(e.Args[0], a)
+		if !ok {
+			return Value{}, false
+		}
+		return Value{Sort: BoolSort, Bool: !v.Bool}, true
+	case OpAnd:
+		all := true
+		for _, x := range e.Args {
+			v, ok := evalIdx(x, a)
+			if !ok {
+				all = false
+				continue
+			}
+			if !v.Bool {
+				return Value{Sort: BoolSort, Bool: false}, true
+			}
+		}
+		return Value{Sort: BoolSort, Bool: true}, all
+	case OpOr:
+		all := true
+		for _, x := range e.Args {
+			v, ok := evalIdx(x, a)
+			if !ok {
+				all = false
+				continue
+			}
+			if v.Bool {
+				return Value{Sort: BoolSort, Bool: true}, true
+			}
+		}
+		return Value{Sort: BoolSort, Bool: false}, all
+	case OpEq:
+		x, xok := evalIdx(e.Args[0], a)
+		y, yok := evalIdx(e.Args[1], a)
+		if !xok || !yok {
+			return Value{}, false
+		}
+		var eq bool
+		if x.Sort.Kind == KindBool {
+			eq = x.Bool == y.Bool
+		} else {
+			eq = x.Int == y.Int
+		}
+		return Value{Sort: BoolSort, Bool: eq}, true
+	case OpLt, OpLe:
+		x, xok := evalIdx(e.Args[0], a)
+		y, yok := evalIdx(e.Args[1], a)
+		if !xok || !yok {
+			return Value{}, false
+		}
+		if e.Op == OpLt {
+			return Value{Sort: BoolSort, Bool: x.Int < y.Int}, true
+		}
+		return Value{Sort: BoolSort, Bool: x.Int <= y.Int}, true
+	case OpAdd, OpSub, OpMul:
+		x, xok := evalIdx(e.Args[0], a)
+		y, yok := evalIdx(e.Args[1], a)
+		if !xok || !yok {
+			return Value{}, false
+		}
+		var r int64
+		switch e.Op {
+		case OpAdd:
+			r = x.Int + y.Int
+		case OpSub:
+			r = x.Int - y.Int
+		default:
+			r = x.Int * y.Int
+		}
+		return Value{Sort: IntSort, Int: r}, true
+	case OpIte:
+		c, cok := evalIdx(e.Args[0], a)
+		if !cok {
+			x, xok := evalIdx(e.Args[1], a)
+			y, yok := evalIdx(e.Args[2], a)
+			if xok && yok && x.Sort == y.Sort && x.Int == y.Int && x.Bool == y.Bool {
+				return x, true
+			}
+			return Value{}, false
+		}
+		if c.Bool {
+			return evalIdx(e.Args[1], a)
+		}
+		return evalIdx(e.Args[2], a)
+	}
+	panic("sym: unknown op")
+}
+
+// Solver finds finite models of boolean expressions. The zero value is
+// ready to use; IntRadius widens the integer candidate domain.
+type Solver struct {
+	// IntRadius is the half-width of the neighborhood around each integer
+	// constant included in the candidate domain (default 2).
+	IntRadius int64
+	// MaxSteps bounds the backtracking search (default 2_000_000 node
+	// visits); exceeding it makes Solve report unknown via ok=false plus
+	// ErrBudget from LastErr.
+	MaxSteps int
+
+	steps    int
+	exceeded bool
+}
+
+// Budget reports whether the previous Solve/Enumerate call ran out of steps
+// before exhausting the search space.
+func (s *Solver) Budget() bool { return s.exceeded }
+
+type domain struct {
+	v    *Expr
+	vals []Value
+}
+
+// domains computes a finite candidate domain for every free variable.
+//
+// Booleans get {false, true}. Each uninterpreted sort gets element ids
+// 0..n-1 where n = (#variables of that sort) + (#distinct constants of that
+// sort): by the small-model property of equality logic this is sufficient.
+// Integers get the union of neighborhoods around every integer constant in
+// the formula plus a small default range.
+func (s *Solver) domains(e *Expr) []domain {
+	vars := varsInOrder(e)
+	sortVarCount := map[Sort]int{}
+	sortConsts := map[Sort]map[int64]bool{}
+	intConsts := map[int64]bool{0: true, 1: true}
+	var walk func(x *Expr)
+	walk = func(x *Expr) {
+		if x.Op == OpConst {
+			switch x.Sort.Kind {
+			case KindInt:
+				intConsts[x.Int] = true
+			case KindUnint:
+				if sortConsts[x.Sort] == nil {
+					sortConsts[x.Sort] = map[int64]bool{}
+				}
+				sortConsts[x.Sort][x.Int] = true
+			}
+		}
+		for _, a := range x.Args {
+			walk(a)
+		}
+	}
+	walk(e)
+	for _, v := range vars {
+		if v.Sort.Kind == KindUnint {
+			sortVarCount[v.Sort]++
+		}
+	}
+
+	radius := s.IntRadius
+	if radius == 0 {
+		radius = 1
+	}
+	intDomain := map[int64]bool{}
+	for c := range intConsts {
+		for d := -radius; d <= radius; d++ {
+			intDomain[c+d] = true
+		}
+	}
+	intVals := make([]int64, 0, len(intDomain))
+	for v := range intDomain {
+		intVals = append(intVals, v)
+	}
+	sort.Slice(intVals, func(i, j int) bool { return intVals[i] < intVals[j] })
+
+	doms := make([]domain, 0, len(vars))
+	for _, v := range vars {
+		var vals []Value
+		switch v.Sort.Kind {
+		case KindBool:
+			vals = []Value{{Sort: BoolSort, Bool: false}, {Sort: BoolSort, Bool: true}}
+		case KindInt:
+			for _, iv := range intVals {
+				vals = append(vals, Value{Sort: IntSort, Int: iv})
+			}
+		case KindUnint:
+			n := sortVarCount[v.Sort]
+			ids := map[int64]bool{}
+			for id := range sortConsts[v.Sort] {
+				ids[id] = true
+			}
+			next := int64(0)
+			for len(ids) < n+len(sortConsts[v.Sort]) || len(ids) == 0 {
+				if !ids[next] {
+					ids[next] = true
+				}
+				next++
+			}
+			ordered := make([]int64, 0, len(ids))
+			for id := range ids {
+				ordered = append(ordered, id)
+			}
+			sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+			for _, id := range ordered {
+				vals = append(vals, Value{Sort: v.Sort, Int: id})
+			}
+		}
+		doms = append(doms, domain{v: v, vals: vals})
+	}
+	return doms
+}
+
+// Solve returns a model of e, or ok=false if e is unsatisfiable over the
+// finite candidate domains (or the step budget was exceeded; see Budget).
+func (s *Solver) Solve(e *Expr) (Model, bool) {
+	var found Model
+	s.Enumerate(e, func(m Model) bool {
+		found = m.Clone()
+		return false // stop at first model
+	})
+	return found, found != nil
+}
+
+// Sat reports whether e is satisfiable over the finite candidate domains.
+func (s *Solver) Sat(e *Expr) bool {
+	_, ok := s.Solve(e)
+	return ok
+}
+
+// Valid reports whether e holds in every model over the candidate domains
+// (i.e. its negation is unsatisfiable).
+func (s *Solver) Valid(e *Expr) bool { return !s.Sat(Not(e)) }
+
+// Enumerate invokes cb for each model of e until cb returns false or the
+// space is exhausted. The Model passed to cb is reused; clone it to keep it.
+//
+// The search splits e's top-level conjunction and evaluates each conjunct
+// exactly once — at the depth where its last free variable gets assigned —
+// so pruning costs are proportional to the conjunct, not the whole formula.
+func (s *Solver) Enumerate(e *Expr, cb func(Model) bool) {
+	if e.IsFalse() {
+		return
+	}
+	doms := s.domains(e)
+	varIdx := make(map[string]int, len(doms))
+	for i, d := range doms {
+		varIdx[d.v.Name] = i
+	}
+
+	var conjs []*Expr
+	if e.Op == OpAnd {
+		conjs = e.Args
+	} else if !e.IsTrue() {
+		conjs = []*Expr{e}
+	}
+	// completedAt[i] lists conjuncts whose variables are all assigned
+	// once doms[i] has a value.
+	completedAt := make([][]*Expr, len(doms))
+	for _, conj := range conjs {
+		last := -1
+		for _, v := range varsInOrder(conj) {
+			if idx := varIdx[v.Name]; idx > last {
+				last = idx
+			}
+		}
+		if last < 0 {
+			// Ground conjunct: constructors fold these, but guard anyway.
+			if v, ok := partialEval(conj, Model{}); ok && !v.Bool {
+				return
+			}
+			continue
+		}
+		completedAt[last] = append(completedAt[last], conj)
+	}
+
+	s.steps = 0
+	s.exceeded = false
+	maxSteps := s.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 5_000_000
+	}
+	maxID := 0
+	for _, d := range doms {
+		if d.v.VarID > maxID {
+			maxID = d.v.VarID
+		}
+	}
+	a := &asn{vals: make([]Value, maxID+1), set: make([]bool, maxID+1)}
+	emit := func() bool {
+		m := make(Model, len(doms))
+		for _, d := range doms {
+			m[d.v.Name] = a.vals[d.v.VarID]
+		}
+		return cb(m)
+	}
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(doms) {
+			return emit()
+		}
+		d := doms[i]
+		id := d.v.VarID
+	next:
+		for _, val := range d.vals {
+			s.steps++
+			if s.steps > maxSteps {
+				s.exceeded = true
+				return false
+			}
+			a.vals[id] = val
+			a.set[id] = true
+			for _, conj := range completedAt[i] {
+				v, ok := evalIdx(conj, a)
+				if !ok {
+					panic("sym: completed conjunct left undetermined: " + conj.String())
+				}
+				if !v.Bool {
+					continue next // prune this value
+				}
+			}
+			if !rec(i + 1) {
+				a.set[id] = false
+				return false
+			}
+		}
+		a.set[id] = false
+		return true
+	}
+	rec(0)
+}
+
+// Conjuncts splits a top-level conjunction (a non-And expression is its own
+// single conjunct; True yields none).
+func Conjuncts(e *Expr) []*Expr {
+	if e.IsTrue() {
+		return nil
+	}
+	if e.Op == OpAnd {
+		return e.Args
+	}
+	return []*Expr{e}
+}
+
+// SatAssuming decides satisfiability of base ∧ extra given that base is
+// already known satisfiable. It restricts the search to extra's cone of
+// influence: the conjuncts of base transitively sharing variables with
+// extra. Conjuncts outside the cone share no variables with it, so a model
+// of the cone extends to a full model by reusing any model of base —
+// soundness and completeness both follow from that disjointness. The
+// returned model binds only cone variables.
+func (s *Solver) SatAssuming(base, extra *Expr) (Model, bool) {
+	if extra.IsTrue() {
+		return Model{}, true
+	}
+	if extra.IsFalse() {
+		return nil, false
+	}
+	conjs := Conjuncts(base)
+	type entry struct {
+		e    *Expr
+		vars []*Expr
+		used bool
+	}
+	entries := make([]entry, len(conjs))
+	for i, c := range conjs {
+		entries[i] = entry{e: c, vars: varsInOrder(c)}
+	}
+	inCone := map[string]bool{}
+	for _, v := range varsInOrder(extra) {
+		inCone[v.Name] = true
+	}
+	cone := []*Expr{extra}
+	for changed := true; changed; {
+		changed = false
+		for i := range entries {
+			if entries[i].used {
+				continue
+			}
+			touches := false
+			for _, v := range entries[i].vars {
+				if inCone[v.Name] {
+					touches = true
+					break
+				}
+			}
+			if !touches {
+				continue
+			}
+			entries[i].used = true
+			changed = true
+			cone = append(cone, entries[i].e)
+			for _, v := range entries[i].vars {
+				inCone[v.Name] = true
+			}
+		}
+	}
+	// Keep base-conjunct order first so chronological pruning still works,
+	// with extra last (it references the latest variables).
+	ordered := make([]*Expr, 0, len(cone))
+	for i := range entries {
+		if entries[i].used {
+			ordered = append(ordered, entries[i].e)
+		}
+	}
+	ordered = append(ordered, extra)
+	return s.Solve(And(ordered...))
+}
+
+// varsInOrder returns free variables in first-occurrence order. Because
+// conjunctions preserve construction order, this matches the chronological
+// order in which path conditions constrained the variables, so assigning in
+// this order lets partial evaluation prune failed prefixes early.
+func varsInOrder(e *Expr) []*Expr {
+	var out []*Expr
+	seen := map[string]bool{}
+	var walk func(x *Expr)
+	walk = func(x *Expr) {
+		if x.Op == OpVar {
+			if !seen[x.Name] {
+				seen[x.Name] = true
+				out = append(out, x)
+			}
+			return
+		}
+		for _, a := range x.Args {
+			walk(a)
+		}
+	}
+	walk(e)
+	return out
+}
+
+// Substitute replaces variables in e according to bind, returning the
+// simplified result. Variables absent from bind are left in place.
+func Substitute(e *Expr, bind map[string]*Expr) *Expr {
+	switch e.Op {
+	case OpConst:
+		return e
+	case OpVar:
+		if r, ok := bind[e.Name]; ok {
+			if r.Sort != e.Sort {
+				panic("sym: Substitute sort mismatch for " + e.Name)
+			}
+			return r
+		}
+		return e
+	}
+	args := make([]*Expr, len(e.Args))
+	changed := false
+	for i, a := range e.Args {
+		args[i] = Substitute(a, bind)
+		if args[i] != a {
+			changed = true
+		}
+	}
+	if !changed {
+		return e
+	}
+	switch e.Op {
+	case OpNot:
+		return Not(args[0])
+	case OpAnd:
+		return And(args...)
+	case OpOr:
+		return Or(args...)
+	case OpEq:
+		return Eq(args[0], args[1])
+	case OpLt:
+		return Lt(args[0], args[1])
+	case OpLe:
+		return Le(args[0], args[1])
+	case OpAdd:
+		return Add(args[0], args[1])
+	case OpSub:
+		return Sub(args[0], args[1])
+	case OpMul:
+		return Mul(args[0], args[1])
+	case OpIte:
+		return Ite(args[0], args[1], args[2])
+	}
+	panic("sym: unknown op in Substitute")
+}

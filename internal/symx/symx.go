@@ -1,0 +1,307 @@
+// Package symx is a symbolic execution harness for interface models
+// written in Go. It plays the role COMMUTER's symbolic Python interpreter
+// played in the original prototype: a model is an ordinary Go function that
+// manipulates symbolic state through a Context; symx explores every feasible
+// path by fork-and-replay, accumulating a path condition per path.
+//
+// Models must be deterministic: given the same branch decisions they must
+// perform the same Context calls in the same order. All state reachable by a
+// model must be rebuilt inside the model function (replay re-executes it
+// from scratch for each path).
+package symx
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sym"
+)
+
+// VarKind classifies the symbolic variables a model creates, so downstream
+// tools (TESTGEN) can tell operation arguments from initial-state content
+// from nondeterministic outputs.
+type VarKind int
+
+const (
+	// KindArg marks operation arguments.
+	KindArg VarKind = iota
+	// KindState marks unconstrained initial-state content.
+	KindState
+	// KindNondet marks nondeterministic outputs (e.g. freshly allocated
+	// inode numbers); equivalence checks existentially quantify these.
+	KindNondet
+)
+
+// abort is the panic sentinel used to abandon an infeasible path.
+type abort struct{ reason string }
+
+// Context carries the path condition and branch-decision trace for one
+// symbolic path. Model code receives a Context and calls Branch/Assume/
+// fresh-variable helpers on it.
+type Context struct {
+	solver *sym.Solver
+	pc     *sym.Expr
+
+	trace []bool // prerecorded decisions for replay
+	pos   int    // next decision index
+
+	pending  [][]bool // alternative decision prefixes discovered this run
+	varKinds map[string]VarKind
+	varSorts map[string]sym.Sort
+	vars     map[string]*sym.Expr // memoized named variables
+
+	// witness is a model known to satisfy pc; it lets Branch and Assume
+	// skip solver calls when the witness already decides a condition.
+	witness sym.Model
+
+	// initProbes registers, per dictionary name, the initial-content
+	// probes made by any dictionary instance, so that two states built
+	// from the same unconstrained initial state observe identical
+	// content even when they first probe a location under semantically
+	// equal but syntactically different keys.
+	initProbes map[string][]*initProbe
+}
+
+func newContext(trace []bool, solver *sym.Solver) *Context {
+	return &Context{
+		solver:     solver,
+		pc:         sym.True,
+		trace:      trace,
+		varKinds:   map[string]VarKind{},
+		varSorts:   map[string]sym.Sort{},
+		vars:       map[string]*sym.Expr{},
+		initProbes: map[string][]*initProbe{},
+	}
+}
+
+// PC returns the current path condition.
+func (c *Context) PC() *sym.Expr { return c.pc }
+
+// Var returns the memoized named variable, creating it with the given sort
+// and kind on first use. Names are content-derived by callers (for example
+// "fs[a].present"), which keeps variable identities stable across the
+// replays of different paths and permutations.
+func (c *Context) Var(name string, s sym.Sort, kind VarKind) *sym.Expr {
+	if v, ok := c.vars[name]; ok {
+		if c.varSorts[name] != s {
+			panic(fmt.Sprintf("symx: variable %q redeclared at sort %v (was %v)", name, s, c.varSorts[name]))
+		}
+		return v
+	}
+	v := sym.Var(name, s)
+	c.vars[name] = v
+	c.varKinds[name] = kind
+	c.varSorts[name] = s
+	return v
+}
+
+// VarKinds returns a copy of the kind classification of every variable the
+// path created.
+func (c *Context) VarKinds() map[string]VarKind {
+	out := make(map[string]VarKind, len(c.varKinds))
+	for k, v := range c.varKinds {
+		out[k] = v
+	}
+	return out
+}
+
+// Abort abandons the current path unconditionally. Models use it to prune
+// branches excluded by nondeterministic choice (e.g. "the kernel picks an
+// unused descriptor", so the branch where the choice collides is dropped).
+func (c *Context) Abort() {
+	panic(abort{reason: "model abort"})
+}
+
+// Assume conjoins cond onto the path condition, abandoning the path if it
+// becomes unsatisfiable.
+func (c *Context) Assume(cond *sym.Expr) {
+	if cond.IsTrue() {
+		return
+	}
+	npc := sym.And(c.pc, cond)
+	if npc.IsFalse() {
+		panic(abort{reason: "assumption unsatisfiable"})
+	}
+	if c.witness != nil {
+		// The witness is heuristic (merges can go stale against replayed
+		// constraints), so it must decide the whole new path condition,
+		// not just cond, before we trust it.
+		if v, ok := c.witness.TryEval(npc); ok && v.Bool {
+			c.pc = npc
+			return
+		}
+	}
+	m, ok := c.solver.SatAssuming(c.pc, cond)
+	if !ok {
+		panic(abort{reason: "assumption unsatisfiable"})
+	}
+	c.mergeWitness(m)
+	c.pc = npc
+}
+
+// mergeWitness overlays a cone model onto the cached witness. The cone's
+// variables are disjoint from the conjuncts the cone excluded, so the
+// overlay still satisfies the whole path condition.
+func (c *Context) mergeWitness(m sym.Model) {
+	if c.witness == nil {
+		c.witness = m.Clone()
+		return
+	}
+	merged := c.witness.Clone()
+	for k, v := range m {
+		merged[k] = v
+	}
+	c.witness = merged
+}
+
+// feasible reports whether pc ∧ cond is satisfiable (pc is known
+// satisfiable — the invariant every admitted constraint preserves). The
+// cached witness is consulted first; because merges can leave it stale
+// against replayed constraints, it must decide the whole conjunction, not
+// just cond. Otherwise a cone-of-influence search runs and its model is
+// returned for merging.
+func (c *Context) feasible(cond *sym.Expr) (sym.Model, bool) {
+	if cond.IsFalse() {
+		return nil, false
+	}
+	if c.witness != nil {
+		if v, ok := c.witness.TryEval(sym.And(c.pc, cond)); ok && v.Bool {
+			return nil, true
+		}
+	}
+	return c.solver.SatAssuming(c.pc, cond)
+}
+
+// Branch explores both sides of cond. It returns the concrete decision for
+// this path and adds the corresponding constraint to the path condition.
+// When both sides are feasible, the unexplored side is queued for a later
+// replay.
+func (c *Context) Branch(cond *sym.Expr) bool {
+	if cond.IsTrue() {
+		return true
+	}
+	if cond.IsFalse() {
+		return false
+	}
+	if c.pos < len(c.trace) {
+		d := c.trace[c.pos]
+		c.pos++
+		if d {
+			c.pc = sym.And(c.pc, cond)
+		} else {
+			c.pc = sym.And(c.pc, sym.Not(cond))
+		}
+		return d
+	}
+	tModel, tSat := c.feasible(cond)
+	fModel, fSat := c.feasible(sym.Not(cond))
+	switch {
+	case tSat && fSat:
+		// The trace holds only decided prefixes; c.pos == len(c.trace)
+		// here, so the alternative is "everything so far, then false".
+		alt := make([]bool, c.pos+1)
+		copy(alt, c.traceSoFar())
+		alt[c.pos] = false
+		c.pending = append(c.pending, alt)
+		c.takeDecision(true)
+		c.pc = sym.And(c.pc, cond)
+		c.mergeWitness(tModel)
+		return true
+	case tSat:
+		c.takeDecision(true)
+		c.pc = sym.And(c.pc, cond)
+		c.mergeWitness(tModel)
+		return true
+	case fSat:
+		c.takeDecision(false)
+		c.pc = sym.And(c.pc, sym.Not(cond))
+		c.mergeWitness(fModel)
+		return false
+	default:
+		panic(abort{reason: "both branch directions infeasible"})
+	}
+}
+
+func (c *Context) traceSoFar() []bool { return c.trace[:c.pos] }
+
+func (c *Context) takeDecision(d bool) {
+	c.trace = append(c.trace[:c.pos], d)
+	c.pos++
+}
+
+// Path is the outcome of one feasible execution path.
+type Path struct {
+	// PC is the path condition.
+	PC *sym.Expr
+	// Result is whatever the model function returned.
+	Result any
+	// VarKinds classifies every symbolic variable the path mentions.
+	VarKinds map[string]VarKind
+	// Witness is a model satisfying PC (possibly partial with respect to
+	// variables created after the last solver call). Downstream checks
+	// can try it before paying for a solver search.
+	Witness sym.Model
+}
+
+// Options tunes path exploration.
+type Options struct {
+	// MaxPaths caps exploration (default 4096).
+	MaxPaths int
+	// Solver is used for feasibility checks; nil means a fresh default.
+	Solver *sym.Solver
+}
+
+// Run symbolically executes fn, exploring every feasible path, and returns
+// one Path per feasible complete execution.
+func Run(fn func(*Context) any, opt Options) []Path {
+	maxPaths := opt.MaxPaths
+	if maxPaths == 0 {
+		maxPaths = 4096
+	}
+	solver := opt.Solver
+	if solver == nil {
+		solver = &sym.Solver{}
+	}
+
+	var paths []Path
+	queue := [][]bool{nil}
+	for len(queue) > 0 && len(paths) < maxPaths {
+		prefix := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		ctx := newContext(prefix, solver)
+		res, aborted := runOne(ctx, fn)
+		queue = append(queue, ctx.pending...)
+		if aborted {
+			continue
+		}
+		paths = append(paths, Path{PC: ctx.pc, Result: res, VarKinds: ctx.VarKinds(), Witness: ctx.witness})
+	}
+	return paths
+}
+
+// runOne executes fn once under ctx, converting abort panics into a flag.
+func runOne(ctx *Context, fn func(*Context) any) (res any, aborted bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(abort); ok {
+				aborted = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	return fn(ctx), false
+}
+
+// SortedVarNames returns the names of all variables of the given kind,
+// sorted, from a VarKinds map.
+func SortedVarNames(kinds map[string]VarKind, kind VarKind) []string {
+	var names []string
+	for n, k := range kinds {
+		if k == kind {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,407 @@
+package symx
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sym"
+)
+
+// Value is the interface of symbolic values stored in model state: either a
+// plain expression (*sym.Expr) or a Struct of named expression fields.
+// Keeping values flat (no nested dictionaries) keeps equivalence formulas
+// quantifier-free; models flatten nesting with tuple dictionary keys
+// instead (e.g. file pages live in a Dict keyed by (inode, offset)).
+type Value interface {
+	valueMarker()
+}
+
+// ExprValue wraps a plain expression as a Value.
+type ExprValue struct{ E *sym.Expr }
+
+func (ExprValue) valueMarker() {}
+
+// Struct is an ordered collection of named expression fields.
+type Struct struct {
+	// Fields maps field name to expression; FieldOrder fixes iteration.
+	Fields     map[string]*sym.Expr
+	FieldOrder []string
+}
+
+func (*Struct) valueMarker() {}
+
+// NewStruct builds a struct from alternating name, expr pairs.
+func NewStruct(pairs ...any) *Struct {
+	if len(pairs)%2 != 0 {
+		panic("symx: NewStruct requires name/expr pairs")
+	}
+	s := &Struct{Fields: map[string]*sym.Expr{}}
+	for i := 0; i < len(pairs); i += 2 {
+		name := pairs[i].(string)
+		e := pairs[i+1].(*sym.Expr)
+		if _, dup := s.Fields[name]; dup {
+			panic("symx: duplicate struct field " + name)
+		}
+		s.Fields[name] = e
+		s.FieldOrder = append(s.FieldOrder, name)
+	}
+	return s
+}
+
+// Get returns the named field.
+func (s *Struct) Get(name string) *sym.Expr {
+	e, ok := s.Fields[name]
+	if !ok {
+		panic("symx: no struct field " + name)
+	}
+	return e
+}
+
+// With returns a copy of s with the named field replaced.
+func (s *Struct) With(name string, e *sym.Expr) *Struct {
+	if _, ok := s.Fields[name]; !ok {
+		panic("symx: no struct field " + name)
+	}
+	ns := &Struct{Fields: make(map[string]*sym.Expr, len(s.Fields)), FieldOrder: s.FieldOrder}
+	for k, v := range s.Fields {
+		ns.Fields[k] = v
+	}
+	ns.Fields[name] = e
+	return ns
+}
+
+// Key is a tuple of expressions indexing a Dict. Equality of keys is the
+// conjunction of componentwise equalities.
+type Key []*sym.Expr
+
+// K builds a key from expressions.
+func K(es ...*sym.Expr) Key { return Key(es) }
+
+func (k Key) eq(o Key) *sym.Expr {
+	if len(k) != len(o) {
+		panic("symx: key arity mismatch")
+	}
+	conj := make([]*sym.Expr, len(k))
+	for i := range k {
+		conj[i] = sym.Eq(k[i], o[i])
+	}
+	return sym.And(conj...)
+}
+
+// tag renders a content-derived identity for naming initial-state variables.
+func (k Key) tag() string {
+	parts := make([]string, len(k))
+	for i, e := range k {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// DictEntry records what one path knows about one dictionary key.
+type DictEntry struct {
+	Key Key
+	// Present is this path's concrete knowledge of membership.
+	Present bool
+	// Val is the stored value when Present.
+	Val Value
+	// InitialProbe is true when the entry was created by probing
+	// unconstrained initial state (as opposed to an explicit Set/Del);
+	// TESTGEN uses these entries to materialize concrete initial states.
+	InitialProbe bool
+	// InitPresentVar is the membership variable for initial probes; nil
+	// for total-function dictionaries, whose keys are always present.
+	InitPresentVar *sym.Expr
+	// InitVal snapshots the unconstrained initial value materialized at
+	// probe time; unlike Val it is never overwritten by Set.
+	InitVal Value
+}
+
+// Dict is a symbolic dictionary over tuple keys with unconstrained initial
+// content. The first probe of a fresh key forks on a named membership
+// variable and, when present, materializes an unconstrained value via
+// MakeVal. Within one path, entry keys are pairwise distinct under the path
+// condition (lookup branches on key equality before creating a new entry).
+type Dict struct {
+	// Name prefixes the content-derived variable names.
+	Name string
+	// MakeVal builds an unconstrained value for initial content at the
+	// key with the given tag.
+	MakeVal func(c *Context, tag string) Value
+
+	entries []*DictEntry
+}
+
+// NewDict returns an empty-overlay dictionary with unconstrained initial
+// content.
+func NewDict(name string, makeVal func(c *Context, tag string) Value) *Dict {
+	return &Dict{Name: name, MakeVal: makeVal}
+}
+
+// initProbe is one registered initial-content probe, shared across all
+// same-named dictionaries of a Context so that differently-keyed probes of
+// one location observe the same unconstrained content.
+type initProbe struct {
+	key Key
+	// presentVar is nil for total-function probes (always present).
+	presentVar *sym.Expr
+	val        Value
+}
+
+// lookup finds or creates the entry governing key k on this path. A miss in
+// this dictionary's overlay first consults the Context's initial-probe
+// registry: if k equals a location some same-named dictionary already
+// probed, the same membership variable and value are observed; otherwise a
+// fresh probe is registered.
+func (d *Dict) lookup(c *Context, k Key) *DictEntry {
+	for _, e := range d.entries {
+		if c.Branch(k.eq(e.Key)) {
+			return e
+		}
+	}
+	for _, ip := range c.initProbes[d.Name] {
+		if ip.presentVar == nil {
+			continue // total-function probe; lookup callers never made it
+		}
+		if c.Branch(k.eq(ip.key)) {
+			e := &DictEntry{
+				Key: k, Present: c.Branch(ip.presentVar),
+				InitialProbe: true, InitPresentVar: ip.presentVar,
+			}
+			if e.Present {
+				e.Val = ip.val
+				e.InitVal = ip.val
+			}
+			d.entries = append(d.entries, e)
+			return e
+		}
+	}
+	tag := fmt.Sprintf("%s[%s]", d.Name, k.tag())
+	pv := c.Var(tag+".present", sym.BoolSort, KindState)
+	present := c.Branch(pv)
+	e := &DictEntry{Key: k, Present: present, InitialProbe: true, InitPresentVar: pv}
+	ip := &initProbe{key: k, presentVar: pv}
+	if present {
+		e.Val = d.MakeVal(c, tag)
+		e.InitVal = e.Val
+		ip.val = e.Val
+	}
+	d.entries = append(d.entries, e)
+	c.initProbes[d.Name] = append(c.initProbes[d.Name], ip)
+	return e
+}
+
+// GetFunc is a total-function view: the key is considered always present,
+// and a fresh unconstrained value is materialized on first access without
+// forking on membership. Use this for tables indexed by identifiers that
+// always resolve (inode metadata, pipe cursors). Initial content is shared
+// through the Context registry like lookup's.
+func (d *Dict) GetFunc(c *Context, k Key) Value {
+	for _, e := range d.entries {
+		if c.Branch(k.eq(e.Key)) {
+			if !e.Present {
+				panic("symx: GetFunc after Del in " + d.Name)
+			}
+			return e.Val
+		}
+	}
+	for _, ip := range c.initProbes[d.Name] {
+		if ip.presentVar != nil || ip.val == nil {
+			continue
+		}
+		if c.Branch(k.eq(ip.key)) {
+			e := &DictEntry{Key: k, Present: true, Val: ip.val, InitialProbe: true, InitVal: ip.val}
+			d.entries = append(d.entries, e)
+			return e.Val
+		}
+	}
+	tag := fmt.Sprintf("%s[%s]", d.Name, k.tag())
+	v := d.MakeVal(c, tag)
+	e := &DictEntry{Key: k, Present: true, Val: v, InitialProbe: true, InitVal: v}
+	d.entries = append(d.entries, e)
+	c.initProbes[d.Name] = append(c.initProbes[d.Name], &initProbe{key: k, val: v})
+	return e.Val
+}
+
+// Contains reports (per-path concretely) whether k is present.
+func (d *Dict) Contains(c *Context, k Key) bool { return d.lookup(c, k).Present }
+
+// Get returns the value at k; the caller must have established presence.
+func (d *Dict) Get(c *Context, k Key) Value {
+	e := d.lookup(c, k)
+	if !e.Present {
+		panic("symx: Get of absent key in " + d.Name)
+	}
+	return e.Val
+}
+
+// GetOr returns the value at k, or def when absent.
+func (d *Dict) GetOr(c *Context, k Key, def Value) Value {
+	e := d.lookup(c, k)
+	if !e.Present {
+		return def
+	}
+	return e.Val
+}
+
+// lookupWrite is like lookup but does not probe unconstrained initial
+// membership: a write overwrites whatever was there, so the prior state is
+// irrelevant and forking on it would only multiply paths.
+func (d *Dict) lookupWrite(c *Context, k Key) *DictEntry {
+	for _, e := range d.entries {
+		if c.Branch(k.eq(e.Key)) {
+			return e
+		}
+	}
+	e := &DictEntry{Key: k}
+	d.entries = append(d.entries, e)
+	return e
+}
+
+// Set stores v at k.
+func (d *Dict) Set(c *Context, k Key, v Value) {
+	e := d.lookupWrite(c, k)
+	e.Present = true
+	e.Val = v
+}
+
+// Del removes k.
+func (d *Dict) Del(c *Context, k Key) {
+	e := d.lookupWrite(c, k)
+	e.Present = false
+	e.Val = nil
+}
+
+// Entries exposes the per-path entry overlay (for TESTGEN and equivalence).
+func (d *Dict) Entries() []*DictEntry { return d.entries }
+
+// presentAt builds, without branching, the membership formula of key k:
+// an ITE chain over the overlay entries with the initial-content membership
+// variable as the default.
+func (d *Dict) presentAt(c *Context, k Key) *sym.Expr {
+	// The default for keys outside this dictionary's overlay is the
+	// initial content: a registered probe's membership variable if the
+	// location was probed anywhere, else a fresh tag-derived variable.
+	tag := fmt.Sprintf("%s[%s]", d.Name, k.tag())
+	res := c.Var(tag+".present", sym.BoolSort, KindState)
+	for _, ip := range c.initProbes[d.Name] {
+		if ip.presentVar != nil {
+			res = sym.Ite(ip.key.eq(k), ip.presentVar, res)
+		} else {
+			res = sym.Ite(ip.key.eq(k), sym.True, res)
+		}
+	}
+	// Later entries were written later; an overlay entry whose key equals
+	// k overrides the default. Entries are pairwise distinct under the
+	// path condition, so at most one guard is true and order among
+	// entries is immaterial; entry-vs-default priority is what matters.
+	for _, e := range d.entries {
+		res = sym.Ite(e.Key.eq(k), sym.Bool(e.Present), res)
+	}
+	return res
+}
+
+// fieldAt builds the formula for field f of the value at key k, defaulting
+// to the initial-content value for keys outside the overlay. For absent
+// entries the default variable is used; callers must guard by presence.
+func (d *Dict) fieldAt(c *Context, k Key, f string) *sym.Expr {
+	tag := fmt.Sprintf("%s[%s]", d.Name, k.tag())
+	def := d.MakeVal(c, tag)
+	res := fieldOf(def, f)
+	for _, ip := range c.initProbes[d.Name] {
+		if ip.val == nil {
+			continue
+		}
+		res = sym.Ite(ip.key.eq(k), fieldOf(ip.val, f), res)
+	}
+	for _, e := range d.entries {
+		var v *sym.Expr
+		if e.Present {
+			v = fieldOf(e.Val, f)
+		} else {
+			v = res // masked by the presence guard
+		}
+		res = sym.Ite(e.Key.eq(k), v, res)
+	}
+	return res
+}
+
+func fieldOf(v Value, f string) *sym.Expr {
+	switch x := v.(type) {
+	case ExprValue:
+		if f != "" {
+			panic("symx: field access on plain expression value")
+		}
+		return x.E
+	case *Struct:
+		return x.Get(f)
+	}
+	panic(fmt.Sprintf("symx: bad value %T", v))
+}
+
+func valueFields(v Value) []string {
+	switch x := v.(type) {
+	case ExprValue:
+		return []string{""}
+	case *Struct:
+		out := append([]string(nil), x.FieldOrder...)
+		sort.Strings(out)
+		return out
+	}
+	panic(fmt.Sprintf("symx: bad value %T", v))
+}
+
+// DictsEquivalent builds the formula stating that dictionaries a and b hold
+// equal content at every key either path touched. Untouched keys share the
+// same initial-content variables by construction (content-derived naming),
+// so they are equal by definition and need no clauses.
+func DictsEquivalent(c *Context, a, b *Dict) *sym.Expr {
+	if a.Name != b.Name {
+		panic("symx: comparing dictionaries with different identities")
+	}
+	keys := unionKeys(a, b)
+	conj := make([]*sym.Expr, 0, len(keys))
+	for _, k := range keys {
+		pa := a.presentAt(c, k)
+		pb := b.presentAt(c, k)
+		clause := sym.Eq(pa, pb)
+		fields := fieldSetAt(a, b, k)
+		for _, f := range fields {
+			fa := a.fieldAt(c, k, f)
+			fb := b.fieldAt(c, k, f)
+			clause = sym.And(clause, sym.Implies(pa, sym.Eq(fa, fb)))
+		}
+		conj = append(conj, clause)
+	}
+	return sym.And(conj...)
+}
+
+// unionKeys returns the syntactically-deduplicated union of overlay keys.
+func unionKeys(a, b *Dict) []Key {
+	var keys []Key
+	seen := map[string]bool{}
+	for _, d := range []*Dict{a, b} {
+		for _, e := range d.entries {
+			t := e.Key.tag()
+			if !seen[t] {
+				seen[t] = true
+				keys = append(keys, e.Key)
+			}
+		}
+	}
+	return keys
+}
+
+// fieldSetAt finds the field names of values stored near key k, falling
+// back to the MakeVal shape. All values in one dictionary share a shape.
+func fieldSetAt(a, b *Dict, k Key) []string {
+	for _, d := range []*Dict{a, b} {
+		for _, e := range d.entries {
+			if e.Present && e.Val != nil {
+				return valueFields(e.Val)
+			}
+		}
+	}
+	// No present entry anywhere: only membership matters.
+	return nil
+}

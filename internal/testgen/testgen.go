@@ -1,0 +1,436 @@
+// Package testgen implements COMMUTER's TESTGEN component (§5.2 of the
+// paper): it converts ANALYZER's per-path commutativity conditions into
+// concrete test cases, aiming for conflict coverage — for each code path it
+// enumerates satisfying assignments that differ in their pattern of equal
+// and distinct values (isomorphism classes), because different aliasing
+// patterns exercise different data-structure access patterns in an
+// implementation even along one model path.
+package testgen
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/analyzer"
+	"repro/internal/kernel"
+	"repro/internal/model"
+	"repro/internal/sym"
+	"repro/internal/symx"
+)
+
+// Options tunes generation.
+type Options struct {
+	// MaxTestsPerPath caps the isomorphism classes enumerated per
+	// commutative path (default 4).
+	MaxTestsPerPath int
+	// Solver overrides the default solver.
+	Solver *sym.Solver
+	// LowestFD indicates the model ran under the POSIX lowest-FD rule;
+	// otherwise generated open/pipe calls carry the O_ANYFD flag,
+	// matching the specification nondeterminism the tests assume.
+	LowestFD bool
+}
+
+// Generate produces concrete test cases for every commutative path of a
+// pair analysis.
+func Generate(pr analyzer.PairResult, opt Options) []kernel.TestCase {
+	maxPer := opt.MaxTestsPerPath
+	if maxPer == 0 {
+		maxPer = 4
+	}
+	solver := opt.Solver
+	if solver == nil {
+		solver = &sym.Solver{}
+	}
+	var tests []kernel.TestCase
+	seen := map[string]bool{}
+	for pi, path := range pr.Paths {
+		if !path.Commutes {
+			continue
+		}
+		vars := classVars(path.CommuteCond, path.VarKinds)
+		cond := path.CommuteCond
+		for ti := 0; ti < maxPer; ti++ {
+			m, ok := solver.Solve(cond)
+			if !ok {
+				break
+			}
+			id := fmt.Sprintf("%s_%s_path%d_test%d", pr.OpA, pr.OpB, pi, ti)
+			tc, err := materialize(id, pr, path, m, opt)
+			// Distinct isomorphism classes can materialize identically
+			// when the distinguishing variables don't reach the concrete
+			// state (e.g. content values on error paths); emit one copy.
+			if err == nil && !seen[contentKey(tc)] {
+				seen[contentKey(tc)] = true
+				tests = append(tests, tc)
+			}
+			cond = sym.And(cond, sym.Not(classFormula(m, vars)))
+		}
+	}
+	return tests
+}
+
+// contentKey renders a test case's distinguishing content (everything but
+// the ID) for deduplication.
+func contentKey(tc kernel.TestCase) string {
+	return fmt.Sprintf("%v|%v|%+v", tc.Calls[0], tc.Calls[1], tc.Setup)
+}
+
+// classVars selects the variables whose equality pattern defines a test's
+// isomorphism class: arguments and initial state, but not nondeterministic
+// outputs.
+func classVars(cond *sym.Expr, kinds map[string]symx.VarKind) []*sym.Expr {
+	var out []*sym.Expr
+	for _, v := range sym.Vars(cond) {
+		if kinds[v.Name] != symx.KindNondet {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// classFormula captures the isomorphism class of model m over vars: boolean
+// variables keep their values, and every same-sort pair of non-boolean
+// variables keeps its equal/distinct relation. Negating this formula forces
+// the next enumerated assignment into a different class — the paper's
+// "negates any equivalent assignment" step.
+func classFormula(m sym.Model, vars []*sym.Expr) *sym.Expr {
+	var conj []*sym.Expr
+	for i, x := range vars {
+		xv, ok := m[x.Name]
+		if !ok {
+			continue
+		}
+		if x.Sort.Kind == sym.KindBool {
+			if xv.Bool {
+				conj = append(conj, x)
+			} else {
+				conj = append(conj, sym.Not(x))
+			}
+			continue
+		}
+		for _, y := range vars[i+1:] {
+			if y.Sort != x.Sort {
+				continue
+			}
+			yv, ok := m[y.Name]
+			if !ok {
+				continue
+			}
+			if xv.Int == yv.Int {
+				conj = append(conj, sym.Eq(x, y))
+			} else {
+				conj = append(conj, sym.Ne(x, y))
+			}
+		}
+	}
+	return sym.And(conj...)
+}
+
+// evalInt evaluates e under m, defaulting to def when m leaves it
+// undetermined (the variable was irrelevant to the condition).
+func evalInt(m sym.Model, e *sym.Expr, def int64) int64 {
+	if v, ok := m.TryEval(e); ok {
+		return v.Int
+	}
+	return def
+}
+
+func evalBool(m sym.Model, e *sym.Expr, def bool) bool {
+	if v, ok := m.TryEval(e); ok {
+		return v.Bool
+	}
+	return def
+}
+
+// materialize renders one satisfying assignment as a concrete test case:
+// concrete arguments for the two calls plus the initial state mined from
+// the union of initial-state probes of both permutations' symbolic states.
+func materialize(id string, pr analyzer.PairResult, path analyzer.PairPath, m sym.Model, opt Options) (kernel.TestCase, error) {
+	tc := kernel.TestCase{ID: id}
+	ops := [2]*model.OpDef{model.OpByName(pr.OpA), model.OpByName(pr.OpB)}
+	for slot, op := range ops {
+		call := kernel.Call{Op: op.Name, Args: map[string]int64{}}
+		for _, spec := range op.Args {
+			name := fmt.Sprintf("%s.%d.%s", op.Name, slot, spec.Name)
+			v := sym.Var(name, spec.Sort)
+			switch {
+			case spec.Name == "proc":
+				if evalBool(m, v, false) {
+					call.Proc = 1
+				}
+			case spec.Sort.Kind == sym.KindBool:
+				if evalBool(m, v, false) {
+					call.Args[spec.Name] = 1
+				} else {
+					call.Args[spec.Name] = 0
+				}
+			default:
+				call.Args[spec.Name] = evalInt(m, v, max64(spec.Min, 0))
+			}
+		}
+		if !opt.LowestFD && (op.Name == "open" || op.Name == "pipe") {
+			call.Args["anyfd"] = 1
+		}
+		tc.Calls[slot] = call
+	}
+	setup, err := buildSetup(path, m)
+	if err != nil {
+		return tc, err
+	}
+	tc.Setup = setup
+	return tc, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// probe is one evaluated initial-state dictionary probe.
+type probe struct {
+	key     []int64
+	present bool
+	fields  map[string]int64
+	bools   map[string]bool
+}
+
+// collectProbes evaluates the initial probes of one dictionary from both
+// permutations' states, deduplicating by concrete key.
+func collectProbes(m sym.Model, dicts ...*symx.Dict) []probe {
+	var out []probe
+	seen := map[string]bool{}
+	for _, d := range dicts {
+		for _, e := range d.Entries() {
+			if !e.InitialProbe {
+				continue
+			}
+			key := make([]int64, len(e.Key))
+			ks := ""
+			for i, ke := range e.Key {
+				if ke.Sort.Kind == sym.KindBool {
+					if evalBool(m, ke, false) {
+						key[i] = 1
+					}
+				} else {
+					key[i] = evalInt(m, ke, 0)
+				}
+				ks += fmt.Sprintf(",%d", key[i])
+			}
+			if seen[ks] {
+				continue
+			}
+			seen[ks] = true
+			p := probe{key: key, fields: map[string]int64{}, bools: map[string]bool{}}
+			if e.InitPresentVar != nil {
+				p.present = evalBool(m, e.InitPresentVar, false)
+			} else {
+				p.present = true // total-function dictionaries
+			}
+			if p.present && e.InitVal != nil {
+				st := e.InitVal.(*symx.Struct)
+				for name, fe := range st.Fields {
+					if fe.Sort.Kind == sym.KindBool {
+						p.bools[name] = evalBool(m, fe, false)
+					} else {
+						p.fields[name] = evalInt(m, fe, 0)
+					}
+				}
+			}
+			if p.present {
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// buildSetup reconstructs a concrete, realizable initial kernel state from
+// the model assignment. Link counts are realized with hidden extra links
+// (the paper's Figure 5 "__i0" trick) when the probed count exceeds the
+// visible names.
+func buildSetup(path analyzer.PairPath, m sym.Model) (kernel.Setup, error) {
+	var s kernel.Setup
+	sa, sb := path.StateA, path.StateB
+
+	inodeLen := map[int64]int64{}
+	inodeNlink := map[int64]int64{}
+	for _, p := range collectProbes(m, sa.Inode, sb.Inode) {
+		inum := p.key[0]
+		if inum < 1 {
+			continue // allocated during the calls, not initial state
+		}
+		inodeLen[inum] = clamp(p.fields["len"], 0, model.MaxLen)
+		inodeNlink[inum] = clamp(p.fields["nlink"], 0, model.MaxInum)
+	}
+
+	visibleLinks := map[int64]int{}
+	for _, p := range collectProbes(m, sa.Fname, sb.Fname) {
+		name, inum := p.key[0], p.fields["inum"]
+		if inum < 1 {
+			continue
+		}
+		s.Files = append(s.Files, kernel.SetupFile{Name: kernel.Fname(name), Inum: inum})
+		visibleLinks[inum]++
+		if _, ok := inodeLen[inum]; !ok {
+			inodeLen[inum] = 0
+		}
+	}
+
+	pages := map[int64]map[int64]int64{}
+	for _, p := range collectProbes(m, sa.Data, sb.Data) {
+		inum, pg := p.key[0], p.key[1]
+		if inum < 1 || pg < 0 {
+			continue
+		}
+		if _, ok := inodeLen[inum]; !ok {
+			continue // content of a file not otherwise in play
+		}
+		if pg >= inodeLen[inum] {
+			continue // beyond EOF: invisible through the interface
+		}
+		if pages[inum] == nil {
+			pages[inum] = map[int64]int64{}
+		}
+		pages[inum][pg] = p.fields["val"]
+	}
+
+	pipesNeeded := map[int64]bool{}
+	for _, p := range collectProbes(m, sa.FD, sb.FD) {
+		proc, fd := int(p.key[0]), p.key[1]
+		if fd < 0 {
+			continue
+		}
+		sd := kernel.SetupFD{Proc: proc, FD: fd}
+		if p.bools["ispipe"] {
+			sd.Pipe = true
+			sd.PipeID = p.fields["pipe"]
+			sd.WriteEnd = p.bools["wend"]
+			if sd.PipeID >= 1 {
+				pipesNeeded[sd.PipeID] = true
+			}
+		} else {
+			sd.Inum = p.fields["inum"]
+			sd.Off = clamp(p.fields["off"], 0, model.MaxLen)
+			if sd.Inum >= 1 {
+				if _, ok := inodeLen[sd.Inum]; !ok {
+					inodeLen[sd.Inum] = 0
+				}
+			}
+		}
+		s.FDs = append(s.FDs, sd)
+	}
+
+	pipeMeta := map[int64][2]int64{}
+	for _, p := range collectProbes(m, sa.Pipe, sb.Pipe) {
+		id := p.key[0]
+		if id < 1 {
+			continue
+		}
+		h := clamp(p.fields["head"], 0, model.MaxLen)
+		t := clamp(p.fields["tail"], h, model.MaxLen)
+		pipeMeta[id] = [2]int64{h, t}
+		pipesNeeded[id] = true
+	}
+	pipeVals := map[int64]map[int64]int64{}
+	for _, p := range collectProbes(m, sa.PipeD, sb.PipeD) {
+		id, seq := p.key[0], p.key[1]
+		if id < 1 {
+			continue
+		}
+		if pipeVals[id] == nil {
+			pipeVals[id] = map[int64]int64{}
+		}
+		pipeVals[id][seq] = p.fields["val"]
+	}
+	for id := range pipesNeeded {
+		meta := pipeMeta[id]
+		var items []int64
+		for seq := meta[0]; seq < meta[1]; seq++ {
+			items = append(items, pipeVals[id][seq])
+		}
+		s.Pipes = append(s.Pipes, kernel.SetupPipe{ID: id, Items: items})
+	}
+
+	anonVals := map[[2]int64]int64{}
+	for _, p := range collectProbes(m, sa.Anon, sb.Anon) {
+		anonVals[[2]int64{p.key[0], p.key[1]}] = p.fields["val"]
+	}
+	for _, p := range collectProbes(m, sa.VMA, sb.VMA) {
+		proc, page := p.key[0], p.key[1]
+		if page < 0 {
+			continue
+		}
+		sv := kernel.SetupVMA{
+			Proc: int(proc), Page: page,
+			Anon:     p.bools["anon"],
+			Writable: p.bools["wr"],
+		}
+		if sv.Anon {
+			sv.Val = anonVals[[2]int64{proc, page}]
+		} else {
+			sv.Inum = p.fields["inum"]
+			sv.Foff = clamp(p.fields["foff"], 0, model.MaxLen)
+			if sv.Inum >= 1 {
+				if _, ok := inodeLen[sv.Inum]; !ok {
+					inodeLen[sv.Inum] = 0
+				}
+			}
+		}
+		s.VMAs = append(s.VMAs, sv)
+	}
+
+	inums := make([]int64, 0, len(inodeLen))
+	for inum := range inodeLen {
+		inums = append(inums, inum)
+	}
+	sort.Slice(inums, func(i, j int) bool { return inums[i] < inums[j] })
+	for _, inum := range inums {
+		extra := 0
+		if want, ok := inodeNlink[inum]; ok {
+			if d := int(want) - visibleLinks[inum]; d > 0 {
+				extra = d
+			}
+		}
+		s.Inodes = append(s.Inodes, kernel.SetupInode{
+			Inum:       inum,
+			ExtraLinks: extra,
+			Len:        inodeLen[inum],
+			Pages:      pages[inum],
+		})
+	}
+	sortSetup(&s)
+	return s, nil
+}
+
+func clamp(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// sortSetup fixes deterministic ordering for reproducible output.
+func sortSetup(s *kernel.Setup) {
+	sort.Slice(s.Files, func(i, j int) bool { return s.Files[i].Name < s.Files[j].Name })
+	sort.Slice(s.FDs, func(i, j int) bool {
+		a, b := s.FDs[i], s.FDs[j]
+		if a.Proc != b.Proc {
+			return a.Proc < b.Proc
+		}
+		return a.FD < b.FD
+	})
+	sort.Slice(s.Pipes, func(i, j int) bool { return s.Pipes[i].ID < s.Pipes[j].ID })
+	sort.Slice(s.VMAs, func(i, j int) bool {
+		a, b := s.VMAs[i], s.VMAs[j]
+		if a.Proc != b.Proc {
+			return a.Proc < b.Proc
+		}
+		return a.Page < b.Page
+	})
+}

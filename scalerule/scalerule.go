@@ -1,0 +1,72 @@
+// Package scalerule is the public API of the paper's §3 formalism: serial
+// histories, specifications, SI and SIM commutativity, and the constructed
+// implementations (Figures 1 and 2) whose conflict accounting demonstrates
+// the scalable commutativity rule — whenever interface operations commute,
+// they can be implemented in a way that scales.
+//
+// A quick demonstration that two increments commute and therefore admit a
+// conflict-free implementation:
+//
+//	spec := scalerule.RefSpec{New: scalerule.NewCounter}
+//	y := scalerule.History{
+//		{Thread: 0, Class: "inc", Ret: []int64{0}},
+//		{Thread: 1, Class: "inc", Ret: []int64{0}},
+//	}
+//	obs := scalerule.ObserverUniverse(..., 1)
+//	scalerule.SIMCommutes(spec, nil, y, obs) // true
+//	m := scalerule.NewScalable(nil, y, scalerule.NewCounter)
+//	// feed y's invocations; scalerule.Conflicts(m.Log(), 0, 2) is empty.
+package scalerule
+
+import "repro/internal/history"
+
+// Re-exported formalism types; see internal/history for details.
+type (
+	// Op is one completed operation (invocation plus response).
+	Op = history.Op
+	// History is a serial history.
+	History = history.History
+	// Spec decides history membership (prefix-closed).
+	Spec = history.Spec
+	// RefSpec derives a specification from a reference state machine.
+	RefSpec = history.RefSpec
+	// RefState is a deterministic reference state machine.
+	RefState = history.RefState
+	// Machine executes invocations and logs component accesses.
+	Machine = history.Machine
+	// CompAccess is one tracked state-component access.
+	CompAccess = history.CompAccess
+	// NonScalable is Figure 1's constructed implementation.
+	NonScalable = history.NonScalable
+	// Scalable is Figure 2's constructed implementation.
+	Scalable = history.Scalable
+)
+
+// Re-exported functions.
+var (
+	// IsReordering reports whether one history reorders another.
+	IsReordering = history.IsReordering
+	// Reorderings enumerates all reorderings of a history.
+	Reorderings = history.Reorderings
+	// Prefixes enumerates all prefixes.
+	Prefixes = history.Prefixes
+	// SICommutes checks SI commutativity over an observer universe.
+	SICommutes = history.SICommutes
+	// SIMCommutes checks SIM commutativity (monotonic SI).
+	SIMCommutes = history.SIMCommutes
+	// ObserverUniverse builds bounded observer suffixes.
+	ObserverUniverse = history.ObserverUniverse
+	// CompletedOps enumerates candidate completed operations.
+	CompletedOps = history.CompletedOps
+	// NewNonScalable builds Figure 1's machine for a history.
+	NewNonScalable = history.NewNonScalable
+	// NewScalable builds Figure 2's machine for X || Y.
+	NewScalable = history.NewScalable
+	// Conflicts analyzes a machine's access log over a step window.
+	Conflicts = history.Conflicts
+	// NewRegister, NewPutMax and NewCounter are example reference
+	// machines (get/set, §3.6's put/max, inc/read).
+	NewRegister = history.NewRegister
+	NewPutMax   = history.NewPutMax
+	NewCounter  = history.NewCounter
+)

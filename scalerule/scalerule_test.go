@@ -1,0 +1,84 @@
+package scalerule_test
+
+import (
+	"testing"
+
+	"repro/scalerule"
+)
+
+func observers() []scalerule.History {
+	var ops []scalerule.Op
+	for v := int64(0); v <= 3; v++ {
+		ops = append(ops, scalerule.Op{Thread: 9, Class: "max", Ret: []int64{v}})
+	}
+	return scalerule.ObserverUniverse(ops, 1)
+}
+
+// The package-comment example, verified.
+func TestDocExample(t *testing.T) {
+	spec := scalerule.RefSpec{New: scalerule.NewCounter}
+	y := scalerule.History{
+		{Thread: 0, Class: "inc", Ret: []int64{0}},
+		{Thread: 1, Class: "inc", Ret: []int64{0}},
+	}
+	var reads []scalerule.Op
+	for v := int64(0); v <= 3; v++ {
+		reads = append(reads, scalerule.Op{Thread: 9, Class: "read", Ret: []int64{v}})
+	}
+	obs := scalerule.ObserverUniverse(reads, 1)
+	if !scalerule.SIMCommutes(spec, nil, y, obs) {
+		t.Fatal("two incs must SIM-commute")
+	}
+	m := scalerule.NewScalable(nil, y, scalerule.NewCounter)
+	for _, o := range y {
+		if got := m.Invoke(o.Thread, o.Class, o.Args); got[0] != o.Ret[0] {
+			t.Fatalf("invoke %v -> %v", o, got)
+		}
+	}
+	if cs := scalerule.Conflicts(m.Log(), 0, len(y)); len(cs) != 0 {
+		t.Errorf("commutative region conflicts: %v", cs)
+	}
+}
+
+func TestFacadeReordering(t *testing.T) {
+	h := scalerule.History{
+		{Thread: 0, Class: "put", Args: []int64{1}, Ret: []int64{0}},
+		{Thread: 1, Class: "put", Args: []int64{2}, Ret: []int64{0}},
+	}
+	rs := scalerule.Reorderings(h)
+	if len(rs) != 2 {
+		t.Fatalf("2 reorderings expected, got %d", len(rs))
+	}
+	for _, r := range rs {
+		if !scalerule.IsReordering(h, r) {
+			t.Error("generated non-reordering")
+		}
+	}
+	if got := len(scalerule.Prefixes(h)); got != 3 {
+		t.Errorf("prefixes = %d", got)
+	}
+}
+
+func TestFacadeNonScalable(t *testing.T) {
+	h := scalerule.History{
+		{Thread: 0, Class: "put", Args: []int64{1}, Ret: []int64{0}},
+		{Thread: 1, Class: "max", Ret: []int64{1}},
+	}
+	m := scalerule.NewNonScalable(h, scalerule.NewPutMax)
+	for _, o := range h {
+		if got := m.Invoke(o.Thread, o.Class, o.Args); got[0] != o.Ret[0] {
+			t.Fatalf("replay %v -> %v", o, got)
+		}
+	}
+	if cs := scalerule.Conflicts(m.Log(), 0, len(h)); len(cs) == 0 {
+		t.Error("mns should conflict on its shared history")
+	}
+}
+
+func TestCompletedOps(t *testing.T) {
+	ops := scalerule.CompletedOps(3, "get", [][]int64{nil}, [][]int64{{0}, {1}})
+	if len(ops) != 2 || ops[0].Thread != 3 {
+		t.Errorf("CompletedOps = %v", ops)
+	}
+	_ = observers()
+}
