@@ -9,16 +9,23 @@
 //	commuter testgen -pair rename,rename     # print generated test cases
 //	commuter matrix  -ops fs                 # Figure 6 for both kernels
 //	commuter matrix  -ops all -kernel sv6    # one kernel, all 18 ops
+//	commuter sweep   -ops all -j 8           # parallel, cacheable matrix run
+//	commuter sweep   -ops all -cache .sweep  # repeat sweeps are incremental
 //
 // The -ops flag selects the operation universe: "fs" (the 9 file-system
-// metadata and descriptor calls — fast), "all" (the full 18; the VM pairs
-// make this take tens of minutes), or a comma-separated list.
+// metadata and descriptor calls — fast), "all" (the full 18), or a
+// comma-separated list. The full 18-op matrix is dominated by the VM pairs;
+// sweep fans the pairs across a worker pool (-j, default all CPUs) and can
+// persist per-pair results in an on-disk cache (-cache), so a warm rerun
+// finishes in well under a second and a cold run takes minutes of
+// wall-clock rather than the tens of minutes the sequential path needs.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -26,6 +33,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/kernel"
 	"repro/internal/model"
+	"repro/internal/sweep"
 	"repro/internal/testgen"
 )
 
@@ -41,13 +49,15 @@ func main() {
 		cmdTestgen(args)
 	case "matrix":
 		cmdMatrix(args)
+	case "sweep":
+		cmdSweep(args)
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: commuter {analyze|testgen|matrix} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: commuter {analyze|testgen|matrix|sweep} [flags]")
 	os.Exit(2)
 }
 
@@ -180,6 +190,19 @@ func printTest(tc kernel.TestCase) {
 	fmt.Printf("  op0: %v\n  op1: %v\n", tc.Calls[0], tc.Calls[1])
 }
 
+// kernelSet resolves the -kernel flag to implementation names.
+func kernelSet(s string) []string {
+	switch s {
+	case "both":
+		return []string{"linux", "sv6"}
+	case "linux", "sv6":
+		return []string{s}
+	}
+	fmt.Fprintf(os.Stderr, "commuter: unknown kernel %q (want linux, sv6 or both)\n", s)
+	os.Exit(2)
+	return nil
+}
+
 func cmdMatrix(args []string) {
 	fs := flag.NewFlagSet("matrix", flag.ExitOnError)
 	ops := fs.String("ops", "fs", `operation universe: "fs", "all", or a comma list`)
@@ -188,6 +211,7 @@ func cmdMatrix(args []string) {
 	fs.Parse(args)
 
 	universe := opSet(*ops)
+	kernels := kernelSet(*kern)
 	start := time.Now()
 	tests := eval.GenerateAllTests(universe,
 		analyzer.Options{}, testgen.Options{MaxTestsPerPath: *perPath},
@@ -201,16 +225,82 @@ func cmdMatrix(args []string) {
 	fmt.Printf("generated %d tests for %d operations in %v\n\n",
 		total, len(universe), time.Since(start).Round(time.Second))
 
-	kernels := []string{"linux", "sv6"}
-	if *kern != "both" {
-		kernels = []string{*kern}
-	}
 	for _, kn := range kernels {
 		m, err := eval.CheckMatrix(kn, tests)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "commuter:", err)
 			os.Exit(1)
 		}
+		fmt.Println(eval.FormatMatrix(m))
+	}
+}
+
+func cmdSweep(args []string) {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	ops := fs.String("ops", "fs", `operation universe: "fs", "all", or a comma list`)
+	j := fs.Int("j", runtime.NumCPU(), "worker pool size")
+	cacheDir := fs.String("cache", "", "result cache directory (empty disables caching)")
+	out := fs.String("out", "", "write per-pair results as JSONL to this file")
+	kern := fs.String("kernel", "both", "linux, sv6, or both")
+	perPath := fs.Int("per-path", 4, "max isomorphism classes per path")
+	fs.Parse(args)
+
+	cfg := sweep.Config{
+		Ops:     opSet(*ops),
+		Kernels: eval.SweepKernels(kernelSet(*kern)...),
+		Testgen: testgen.Options{MaxTestsPerPath: *perPath},
+		Workers: *j,
+		Progress: func(ev sweep.Event) {
+			from := "computed"
+			if ev.Cached {
+				from = "cached"
+			}
+			fmt.Fprintf(os.Stderr, "[%3d/%3d] %-20s %4d tests %-8s in %.0fms (total %v)\n",
+				ev.Done, ev.Total, ev.Pair, ev.Tests, from, ev.PairMS, ev.Elapsed.Round(time.Millisecond))
+		},
+	}
+	if *cacheDir != "" {
+		c, err := sweep.OpenCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "commuter:", err)
+			os.Exit(1)
+		}
+		cfg.Cache = c
+	}
+	var artifact *os.File
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "commuter:", err)
+			os.Exit(1)
+		}
+		artifact = f
+		cfg.Artifact = f
+	}
+
+	res, err := sweep.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "commuter:", err)
+		os.Exit(1)
+	}
+	if artifact != nil {
+		// A close error (deferred write failure on NFS, full disk) means a
+		// truncated artifact; fail loudly rather than exit 0 with bad data.
+		if err := artifact.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "commuter: artifact:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("swept %d pairs (%d tests) on %d workers in %v",
+		len(res.Pairs), res.TotalTests(), res.Workers, res.Elapsed.Round(time.Millisecond))
+	if cfg.Cache != nil {
+		fmt.Printf("; cache: %d hits, %d misses", res.CacheHits, res.CacheMisses)
+	}
+	fmt.Print("\n\n")
+	if res.CacheWriteErrors > 0 {
+		fmt.Fprintf(os.Stderr, "commuter: warning: %d pair results could not be cached\n", res.CacheWriteErrors)
+	}
+	for _, m := range eval.MatricesFromSweep(res) {
 		fmt.Println(eval.FormatMatrix(m))
 	}
 }

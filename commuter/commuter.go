@@ -25,6 +25,7 @@ import (
 	"repro/internal/kernel/monokernel"
 	"repro/internal/kernel/svsix"
 	"repro/internal/model"
+	"repro/internal/sweep"
 	"repro/internal/testgen"
 )
 
@@ -56,6 +57,21 @@ type (
 	Curve = eval.Curve
 	// Matrix is a Figure 6 conflict matrix.
 	Matrix = eval.Matrix
+	// OpDef is one modeled POSIX operation.
+	OpDef = model.OpDef
+
+	// SweepConfig describes one parallel pipeline sweep.
+	SweepConfig = sweep.Config
+	// SweepResult is a completed sweep.
+	SweepResult = sweep.Result
+	// SweepPair is the sweep outcome for one operation pair.
+	SweepPair = sweep.PairResult
+	// SweepEvent is one streaming sweep progress report.
+	SweepEvent = sweep.Event
+	// SweepCache is the on-disk per-pair result cache.
+	SweepCache = sweep.Cache
+	// KernelSpec names a kernel implementation for a sweep.
+	KernelSpec = sweep.KernelSpec
 )
 
 // OpNames returns the 18 modeled POSIX operations in Figure 6 order.
@@ -66,6 +82,39 @@ func OpNames() []string {
 	}
 	return out
 }
+
+// Ops resolves operation names to their definitions, for building a
+// SweepConfig universe. With no arguments it returns all 18 modeled
+// operations in Figure 6 order; an unknown name panics like Analyze.
+func Ops(names ...string) []*OpDef {
+	if len(names) == 0 {
+		return model.Ops()
+	}
+	out := make([]*OpDef, len(names))
+	for i, n := range names {
+		out[i] = model.OpByName(n)
+		if out[i] == nil {
+			panic("commuter: unknown operation " + n)
+		}
+	}
+	return out
+}
+
+// Sweep fans the ANALYZE → TESTGEN → CHECK pipeline across cfg.Workers
+// goroutines, one unordered operation pair at a time, optionally serving
+// repeat pairs from cfg.Cache. See package sweep for the engine.
+func Sweep(cfg SweepConfig) (*SweepResult, error) { return sweep.Run(cfg) }
+
+// OpenSweepCache opens (creating if needed) an on-disk sweep result cache.
+func OpenSweepCache(dir string) (*SweepCache, error) { return sweep.OpenCache(dir) }
+
+// SweepKernels builds kernel specs by name ("linux", "sv6"); with no
+// arguments it returns both.
+func SweepKernels(names ...string) []KernelSpec { return eval.SweepKernels(names...) }
+
+// MatricesFromSweep converts a sweep result into Figure 6 matrices, one per
+// swept kernel.
+func MatricesFromSweep(res *SweepResult) []Matrix { return eval.MatricesFromSweep(res) }
 
 // Analyze computes the commutativity conditions of an operation pair.
 func Analyze(opA, opB string, opt Options) PairResult {

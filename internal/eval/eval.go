@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/analyzer"
 	"repro/internal/coherence"
@@ -17,6 +19,7 @@ import (
 	"repro/internal/mail"
 	"repro/internal/model"
 	"repro/internal/mtrace"
+	"repro/internal/sweep"
 	"repro/internal/testgen"
 )
 
@@ -273,26 +276,45 @@ func NewKernelFunc(name string) func() kernel.Kernel {
 }
 
 // GenerateAllTests runs ANALYZER + TESTGEN over every pair of the given
-// operations and returns the concrete test cases grouped by pair.
+// operations and returns the concrete test cases grouped by pair. The pairs
+// are fanned across the sweep engine's worker pool (per-pair work is
+// deterministic and independent, so the result matches a sequential run);
+// progress callbacks are serialized but arrive in completion order. A
+// caller-provided Solver in either option struct forces sequential
+// execution, since solvers are not safe to share.
 func GenerateAllTests(ops []*model.OpDef, aOpt analyzer.Options, gOpt testgen.Options, progress func(pair string, n int)) map[[2]string][]kernel.TestCase {
-	out := map[[2]string][]kernel.TestCase{}
-	for i, a := range ops {
-		for _, b := range ops[:i+1] {
-			pr := analyzer.AnalyzePair(b, a, aOpt)
-			tests := testgen.Generate(pr, gOpt)
-			out[[2]string{pr.OpA, pr.OpB}] = tests
-			if progress != nil {
-				progress(pr.OpA+"/"+pr.OpB, len(tests))
-			}
+	jobs := sweep.Pairs(ops)
+	workers := 0
+	if aOpt.Solver != nil || gOpt.Solver != nil {
+		workers = 1
+	}
+	names := make([][2]string, len(jobs))
+	tests := make([][]kernel.TestCase, len(jobs))
+	var mu sync.Mutex
+	sweep.Parallel(len(jobs), workers, func(i int) {
+		pr := analyzer.AnalyzePair(jobs[i][0], jobs[i][1], aOpt)
+		ts := testgen.Generate(pr, gOpt)
+		names[i] = [2]string{pr.OpA, pr.OpB}
+		tests[i] = ts
+		if progress != nil {
+			mu.Lock()
+			progress(pr.OpA+"/"+pr.OpB, len(ts))
+			mu.Unlock()
 		}
+	})
+	out := map[[2]string][]kernel.TestCase{}
+	for i := range jobs {
+		out[names[i]] = tests[i]
 	}
 	return out
 }
 
-// CheckMatrix runs generated tests against a kernel and builds its matrix.
+// CheckMatrix runs generated tests against a kernel and builds its matrix,
+// checking pairs in parallel on the sweep engine's worker pool. Each check
+// builds fresh kernel instances with their own traced memory, so pairs
+// never share state.
 func CheckMatrix(kernelName string, tests map[[2]string][]kernel.TestCase) (Matrix, error) {
 	fresh := NewKernelFunc(kernelName)
-	m := Matrix{Kernel: kernelName}
 	var pairs [][2]string
 	for p := range tests {
 		pairs = append(pairs, p)
@@ -303,21 +325,68 @@ func CheckMatrix(kernelName string, tests map[[2]string][]kernel.TestCase) (Matr
 		}
 		return pairs[i][1] < pairs[j][1]
 	})
-	for _, p := range pairs {
-		cell := MatrixCell{OpA: p[0], OpB: p[1]}
-		for _, tc := range tests[p] {
-			res, err := kernel.Check(fresh, tc)
-			if err != nil {
-				return m, fmt.Errorf("%s: %w", tc.ID, err)
-			}
-			cell.Total++
-			if !res.ConflictFree {
-				cell.Conflicts++
+	cells := make([]MatrixCell, len(pairs))
+	errs := make([]error, len(pairs))
+	var failed atomic.Bool // fail fast: skip remaining pairs after the first error
+	sweep.Parallel(len(pairs), 0, func(i int) {
+		if failed.Load() {
+			return
+		}
+		p := pairs[i]
+		total, conflicts, err := sweep.CheckTests(fresh, tests[p])
+		if err != nil {
+			errs[i] = err
+			failed.Store(true)
+			return
+		}
+		cells[i] = MatrixCell{OpA: p[0], OpB: p[1], Total: total, Conflicts: conflicts}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return Matrix{Kernel: kernelName}, err
+		}
+	}
+	return Matrix{Kernel: kernelName, Cells: cells}, nil
+}
+
+// SweepKernels returns the standard two-kernel universe as sweep specs.
+func SweepKernels(kernelNames ...string) []sweep.KernelSpec {
+	if len(kernelNames) == 0 {
+		kernelNames = []string{"linux", "sv6"}
+	}
+	specs := make([]sweep.KernelSpec, len(kernelNames))
+	for i, n := range kernelNames {
+		specs[i] = sweep.KernelSpec{Name: n, New: NewKernelFunc(n)}
+	}
+	return specs
+}
+
+// MatricesFromSweep converts a sweep result into one Figure 6 matrix per
+// kernel, in the kernel order the sweep ran them.
+func MatricesFromSweep(res *sweep.Result) []Matrix {
+	var order []string
+	idx := map[string]int{}
+	for _, p := range res.Pairs {
+		for _, c := range p.Cells {
+			if _, ok := idx[c.Kernel]; !ok {
+				idx[c.Kernel] = len(order)
+				order = append(order, c.Kernel)
 			}
 		}
-		m.Cells = append(m.Cells, cell)
 	}
-	return m, nil
+	ms := make([]Matrix, len(order))
+	for i, n := range order {
+		ms[i].Kernel = n
+	}
+	for _, p := range res.Pairs {
+		for _, c := range p.Cells {
+			i := idx[c.Kernel]
+			ms[i].Cells = append(ms[i].Cells, MatrixCell{
+				OpA: p.OpA, OpB: p.OpB, Total: c.Total, Conflicts: c.Conflicts,
+			})
+		}
+	}
+	return ms
 }
 
 // FormatMatrix renders a Figure 6-style half-matrix: the number of

@@ -1,10 +1,12 @@
 package eval
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/analyzer"
 	"repro/internal/model"
+	"repro/internal/sweep"
 	"repro/internal/testgen"
 )
 
@@ -40,6 +42,34 @@ func TestGenerationCounts(t *testing.T) {
 			// two pipes never share state).
 			t.Errorf("pair %v generated no tests", pair)
 		}
+	}
+}
+
+// TestSweepMatchesMatrix pins that the sweep engine path and the
+// generate-then-check path agree cell for cell, so `commuter sweep` and
+// `commuter matrix` regenerate the same Figure 6.
+func TestSweepMatchesMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep pipeline in -short mode")
+	}
+	ops := []*model.OpDef{model.OpByName("stat"), model.OpByName("lseek"), model.OpByName("close")}
+	tests := GenerateAllTests(ops, analyzer.Options{}, testgen.Options{}, nil)
+	var want []Matrix
+	for _, kn := range []string{"linux", "sv6"} {
+		m, err := CheckMatrix(kn, tests)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, m)
+	}
+
+	res, err := sweep.Run(sweep.Config{Ops: ops, Kernels: SweepKernels(), Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := MatricesFromSweep(res)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("sweep matrices diverge\ngot  %+v\nwant %+v", got, want)
 	}
 }
 

@@ -1,0 +1,38 @@
+// JSONL artifact support: a sweep can mirror every per-pair result to a
+// stream, one JSON object per line, so large sweeps leave a machine-readable
+// record that downstream tooling can consume without rerunning anything.
+package sweep
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ReadArtifact parses a JSONL stream previously produced by a sweep's
+// Artifact writer. Blank lines are ignored; a malformed line is an error
+// with its line number.
+func ReadArtifact(r io.Reader) ([]PairResult, error) {
+	var out []PairResult
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var pr PairResult
+		if err := json.Unmarshal([]byte(text), &pr); err != nil {
+			return nil, fmt.Errorf("sweep: artifact line %d: %w", line, err)
+		}
+		out = append(out, pr)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("sweep: artifact read: %w", err)
+	}
+	return out, nil
+}

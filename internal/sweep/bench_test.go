@@ -1,0 +1,49 @@
+package sweep
+
+import (
+	"runtime"
+	"testing"
+)
+
+// benchConfig sweeps a 6-pair universe on both kernels with the given
+// worker count and no cache, so every iteration does the full pipeline.
+func benchSweep(b *testing.B, workers int) {
+	ops, kernels := testOps(b), testKernels()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(Config{Ops: ops, Kernels: kernels, Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepSerial is the -j 1 baseline the acceptance criteria compare
+// against: run with
+//
+//	go test -bench Sweep -benchtime 3x ./internal/sweep
+func BenchmarkSweepSerial(b *testing.B)   { benchSweep(b, 1) }
+func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, runtime.NumCPU()) }
+
+// BenchmarkSweepWarmCache measures the incremental path: every pair served
+// from a pre-populated cache.
+func BenchmarkSweepWarmCache(b *testing.B) {
+	ops, kernels := testOps(b), testKernels()
+	cache, err := OpenCache(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{Ops: ops, Kernels: kernels, Cache: cache}
+	if _, err := Run(cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.CacheMisses != 0 {
+			b.Fatalf("warm run missed %d pairs", res.CacheMisses)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// On-disk result cache for sweeps: one JSON file per pair, named by a
+// content-addressed key over everything that determines the pair's result.
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/analyzer"
+	"repro/internal/testgen"
+)
+
+// CacheVersion stamps every key and entry. Bump it whenever the model,
+// analyzer, testgen or checker semantics change, so stale results from an
+// older code version are recomputed instead of trusted.
+const CacheVersion = 1
+
+// Key derives the content address of one pair's sweep result from the pair
+// itself and every option that influences it. The encoding is an explicit
+// field-by-field string (not struct marshaling) so the key is stable across
+// runs and robust to field reordering; solvers are deliberately excluded
+// because they don't change results, only how they're searched for.
+// Zero-value options are normalized to the defaults the pipeline applies
+// (MaxPaths 4096, MaxTestsPerPath 4), so semantically identical
+// configurations share cache entries.
+func Key(opA, opB string, aOpt analyzer.Options, gOpt testgen.Options, kernels []string) string {
+	maxPaths := aOpt.MaxPaths
+	if maxPaths == 0 {
+		maxPaths = 4096
+	}
+	perPath := gOpt.MaxTestsPerPath
+	if perPath == 0 {
+		perPath = 4
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "v%d|pair=%s,%s", CacheVersion, opA, opB)
+	fmt.Fprintf(&b, "|model.lowestfd=%v", aOpt.Config.LowestFD)
+	fmt.Fprintf(&b, "|analyzer.maxpaths=%d", maxPaths)
+	fmt.Fprintf(&b, "|testgen.maxtestsperpath=%d", perPath)
+	fmt.Fprintf(&b, "|testgen.lowestfd=%v", gOpt.LowestFD)
+	fmt.Fprintf(&b, "|kernels=%s", strings.Join(kernels, ","))
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// Cache is a directory of per-pair result files. It is safe for concurrent
+// use by the sweep workers; distinct keys never contend on the filesystem
+// because each lives in its own file, written atomically.
+type Cache struct {
+	dir string
+
+	mu           sync.Mutex
+	hits, misses int
+}
+
+// cacheEntry is the on-disk format. Version and Key are stored redundantly
+// with the filename so a mismatched or truncated file is detected and
+// treated as a miss rather than trusted.
+type cacheEntry struct {
+	Version int        `json:"version"`
+	Key     string     `json:"key"`
+	Pair    PairResult `json:"pair"`
+}
+
+// staleTempAge is how old an orphaned temp file must be before OpenCache
+// reclaims it. The threshold keeps the cleanup from racing a concurrent
+// sweep process that is mid-Put in the same cache directory.
+const staleTempAge = time.Hour
+
+// OpenCache opens (creating if needed) the cache rooted at dir. Temp files
+// orphaned by a sweep killed mid-store are swept out (once they're old
+// enough to clearly not belong to a live sweep) so they can't accumulate
+// across interrupted runs.
+func OpenCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sweep: open cache: %w", err)
+	}
+	if stale, err := filepath.Glob(filepath.Join(dir, "*.tmp*")); err == nil {
+		for _, p := range stale {
+			if fi, err := os.Stat(p); err == nil && time.Since(fi.ModTime()) > staleTempAge {
+				os.Remove(p)
+			}
+		}
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache's root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// Get returns the cached result for key. Any defect — missing file,
+// unparsable JSON, version or key mismatch — is a miss: the sweep
+// recomputes and overwrites, never fails.
+func (c *Cache) Get(key string) (*PairResult, bool) {
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return c.record(nil, false)
+	}
+	var e cacheEntry
+	if err := json.Unmarshal(data, &e); err != nil || e.Version != CacheVersion || e.Key != key {
+		return c.record(nil, false)
+	}
+	return c.record(&e.Pair, true)
+}
+
+func (c *Cache) record(pr *PairResult, hit bool) (*PairResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if hit {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return pr, hit
+}
+
+// Put stores a result under key. Timing and cache provenance are stripped:
+// the entry holds only what is reproducible from the key. The write goes
+// through a temp file and rename so a crashed or concurrent sweep can never
+// leave a half-written entry that parses.
+func (c *Cache) Put(key string, pr PairResult) error {
+	pr.Cached = false
+	pr.ElapsedMS = 0
+	data, err := json.MarshalIndent(cacheEntry{Version: CacheVersion, Key: key, Pair: pr}, "", "\t")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(c.dir, key+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// Stats returns cumulative hit and miss counts since the cache was opened.
+func (c *Cache) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,238 @@
+package sweep
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analyzer"
+	"repro/internal/model"
+	"repro/internal/testgen"
+)
+
+func TestKeyStability(t *testing.T) {
+	base := func() string {
+		return Key("open", "rename", analyzer.Options{}, testgen.Options{MaxTestsPerPath: 4}, []string{"linux", "sv6"})
+	}
+	k := base()
+	if len(k) != 64 || strings.Trim(k, "0123456789abcdef") != "" {
+		t.Fatalf("key %q is not lowercase hex sha256", k)
+	}
+	if k != base() {
+		t.Error("identical inputs produced different keys")
+	}
+
+	// Every determining input must move the key.
+	variants := map[string]string{
+		"pair":         Key("open", "link", analyzer.Options{}, testgen.Options{MaxTestsPerPath: 4}, []string{"linux", "sv6"}),
+		"pair order":   Key("rename", "open", analyzer.Options{}, testgen.Options{MaxTestsPerPath: 4}, []string{"linux", "sv6"}),
+		"model config": Key("open", "rename", analyzer.Options{Config: model.Config{LowestFD: true}}, testgen.Options{MaxTestsPerPath: 4}, []string{"linux", "sv6"}),
+		"max paths":    Key("open", "rename", analyzer.Options{MaxPaths: 128}, testgen.Options{MaxTestsPerPath: 4}, []string{"linux", "sv6"}),
+		"per path":     Key("open", "rename", analyzer.Options{}, testgen.Options{MaxTestsPerPath: 8}, []string{"linux", "sv6"}),
+		"gen lowestfd": Key("open", "rename", analyzer.Options{}, testgen.Options{MaxTestsPerPath: 4, LowestFD: true}, []string{"linux", "sv6"}),
+		"kernels":      Key("open", "rename", analyzer.Options{}, testgen.Options{MaxTestsPerPath: 4}, []string{"sv6"}),
+	}
+	for what, v := range variants {
+		if v == k {
+			t.Errorf("changing %s did not change the key", what)
+		}
+	}
+
+	// Zero-value options normalize to the pipeline defaults, so explicit
+	// and implicit defaults share cache entries.
+	zero := Key("open", "rename", analyzer.Options{}, testgen.Options{}, []string{"linux", "sv6"})
+	explicit := Key("open", "rename", analyzer.Options{MaxPaths: 4096}, testgen.Options{MaxTestsPerPath: 4}, []string{"linux", "sv6"})
+	if zero != explicit {
+		t.Error("explicit defaults produced a different key than zero values")
+	}
+}
+
+func TestCacheHitMissAccounting(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("stat", "stat", analyzer.Options{}, testgen.Options{}, []string{"sv6"})
+
+	if _, ok := c.Get(key); ok {
+		t.Fatal("hit on empty cache")
+	}
+	want := PairResult{OpA: "stat", OpB: "stat", Tests: 3,
+		Cells: []KernelCell{{Kernel: "sv6", Total: 3, Conflicts: 1}}}
+	if err := c.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(key)
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	if got.OpA != want.OpA || got.OpB != want.OpB || got.Tests != want.Tests ||
+		len(got.Cells) != 1 || got.Cells[0] != want.Cells[0] {
+		t.Errorf("got %+v, want %+v", got, want)
+	}
+	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
+		t.Errorf("stats hits=%d misses=%d, want 1/1", hits, misses)
+	}
+}
+
+// TestCachePutStripsProvenance pins that stored entries never carry timing
+// or cached-ness from the run that produced them.
+func TestCachePutStripsProvenance(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("lseek", "lseek", analyzer.Options{}, testgen.Options{}, []string{"linux"})
+	if err := c.Put(key, PairResult{OpA: "lseek", OpB: "lseek", Cached: true, ElapsedMS: 99}); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(key)
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	if got.Cached || got.ElapsedMS != 0 {
+		t.Errorf("stored entry kept provenance: %+v", got)
+	}
+}
+
+// TestCacheCorruptionRecovery pins the graceful-degradation contract: a
+// corrupted, version-mismatched or key-mismatched entry is a miss (so the
+// sweep recomputes), never an error.
+func TestCacheCorruptionRecovery(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("close", "close", analyzer.Options{}, testgen.Options{}, []string{"sv6"})
+	good := PairResult{OpA: "close", OpB: "close", Tests: 2,
+		Cells: []KernelCell{{Kernel: "sv6", Total: 2}}}
+	if err := c.Put(key, good); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, key+".json")
+
+	// Truncated garbage.
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key); ok {
+		t.Error("corrupted entry served as a hit")
+	}
+
+	// Valid JSON from a different (older) code version.
+	stale, _ := json.Marshal(cacheEntry{Version: CacheVersion - 1, Key: key, Pair: good})
+	if err := os.WriteFile(path, stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key); ok {
+		t.Error("version-mismatched entry served as a hit")
+	}
+
+	// Entry whose embedded key disagrees with its filename (e.g. a file
+	// copied between cache dirs).
+	alien, _ := json.Marshal(cacheEntry{Version: CacheVersion, Key: "somebody-else", Pair: good})
+	if err := os.WriteFile(path, alien, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key); ok {
+		t.Error("key-mismatched entry served as a hit")
+	}
+
+	// Overwriting repairs the slot.
+	if err := c.Put(key, good); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key); !ok {
+		t.Error("repaired entry still misses")
+	}
+}
+
+// TestSweepSurvivesUnwritableCache pins the write-side degradation
+// contract: when results can't be stored (read-only cache directory), the
+// sweep still completes and reports the failed stores instead of erroring.
+func TestSweepSurvivesUnwritableCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep pipeline in -short mode")
+	}
+	dir := t.TempDir()
+	cache, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755)
+	if os.Getuid() == 0 {
+		t.Skip("running as root: directory permissions are not enforced")
+	}
+
+	ops, kernels := testOps(t), testKernels()
+	res, err := Run(Config{Ops: ops, Kernels: kernels, Workers: 2, Cache: cache})
+	if err != nil {
+		t.Fatalf("sweep failed on unwritable cache: %v", err)
+	}
+	wantPairs := len(ops) * (len(ops) + 1) / 2
+	if len(res.Pairs) != wantPairs {
+		t.Errorf("got %d pairs, want %d", len(res.Pairs), wantPairs)
+	}
+	if res.CacheWriteErrors != wantPairs {
+		t.Errorf("CacheWriteErrors=%d, want %d", res.CacheWriteErrors, wantPairs)
+	}
+}
+
+// TestSweepRecoversFromCorruptedCache pins end-to-end recovery: a sweep
+// over a cache directory full of garbage recomputes everything and
+// succeeds.
+func TestSweepRecoversFromCorruptedCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep pipeline in -short mode")
+	}
+	dir := t.TempDir()
+	cache, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops, kernels := testOps(t), testKernels()
+	cfg := Config{Ops: ops, Kernels: kernels, Workers: 4, Cache: cache}
+	first, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Smash every entry on disk.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(first.Pairs) {
+		t.Fatalf("cache holds %d files, want %d", len(entries), len(first.Pairs))
+	}
+	for _, e := range entries {
+		if err := os.WriteFile(filepath.Join(dir, e.Name()), []byte("garbage"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	second, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("sweep failed on corrupted cache: %v", err)
+	}
+	if second.CacheHits != 0 || second.CacheMisses != len(first.Pairs) {
+		t.Errorf("corrupted cache: hits=%d misses=%d, want 0/%d",
+			second.CacheHits, second.CacheMisses, len(first.Pairs))
+	}
+
+	// Third run sees the repaired entries.
+	third, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.CacheHits != len(first.Pairs) || third.CacheMisses != 0 {
+		t.Errorf("after repair: hits=%d misses=%d, want %d/0",
+			third.CacheHits, third.CacheMisses, len(first.Pairs))
+	}
+}

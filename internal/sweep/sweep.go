@@ -1,0 +1,333 @@
+// Package sweep is the parallel orchestration engine for the COMMUTER
+// pipeline. It fans the per-pair ANALYZE → TESTGEN → CHECK work across a
+// configurable worker pool: the mtrace tracer is single-threaded, so
+// isolation is per pair (every kernel.Check builds fresh kernel instances
+// with their own mtrace.Memory) and parallelism is across the 171 unordered
+// pairs of the modeled operations.
+//
+// The engine optionally consults a content-addressed on-disk Cache so
+// repeat sweeps are incremental, streams per-pair progress Events, and can
+// mirror every PairResult to a JSONL artifact stream.
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/analyzer"
+	"repro/internal/kernel"
+	"repro/internal/model"
+	"repro/internal/testgen"
+)
+
+// KernelSpec names one kernel implementation under test and how to build a
+// fresh instance of it. The cache identifies kernels by Name alone, so a
+// caller supplying a custom New must give it a name distinct from the stock
+// implementations (or use a separate cache directory) — otherwise cached
+// results computed with the stock kernel are served for the custom one.
+type KernelSpec struct {
+	Name string
+	New  func() kernel.Kernel
+}
+
+// Event is one streaming progress report, emitted after a pair finishes.
+// Progress callbacks are serialized by the engine.
+type Event struct {
+	// Pair is "opA/opB".
+	Pair string
+	// Done and Total count finished and scheduled pairs.
+	Done, Total int
+	// Tests is the number of generated test cases for the pair.
+	Tests int
+	// Cached reports that the pair was served from the cache.
+	Cached bool
+	// PairMS is the wall time this pair took, in milliseconds.
+	PairMS float64
+	// Elapsed is the cumulative wall time since the sweep started.
+	Elapsed time.Duration
+}
+
+// Config describes one sweep.
+type Config struct {
+	// Ops is the operation universe; the sweep covers every unordered
+	// pair, oriented like the sequential evaluation path (earlier op
+	// first).
+	Ops []*model.OpDef
+	// Kernels are the implementations to check each generated test on.
+	Kernels []KernelSpec
+	// Analyzer tunes ANALYZER. A caller-provided Solver disables
+	// parallelism (solvers are not safe to share); leave it nil.
+	Analyzer analyzer.Options
+	// Testgen tunes TESTGEN; same Solver caveat as Analyzer.
+	Testgen testgen.Options
+	// Workers sizes the pool; <= 0 means runtime.NumCPU().
+	Workers int
+	// Cache, when non-nil, serves and stores per-pair results.
+	Cache *Cache
+	// Progress, when non-nil, receives one Event per finished pair.
+	Progress func(Event)
+	// Artifact, when non-nil, receives one JSON line per finished pair.
+	Artifact io.Writer
+}
+
+// KernelCell is one kernel's aggregate verdict for one pair: how many of
+// the generated tests ran and how many were not conflict-free.
+type KernelCell struct {
+	Kernel    string `json:"kernel"`
+	Total     int    `json:"total"`
+	Conflicts int    `json:"conflicts"`
+}
+
+// PairResult is the sweep outcome for one operation pair.
+type PairResult struct {
+	OpA   string       `json:"op_a"`
+	OpB   string       `json:"op_b"`
+	Tests int          `json:"tests"`
+	Cells []KernelCell `json:"cells,omitempty"`
+	// Cached reports the result was served from the cache (never stored).
+	Cached bool `json:"cached,omitempty"`
+	// ElapsedMS is the wall time this pair took in this sweep.
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// Pair is "opA/opB", the identifier used in progress events.
+func (p PairResult) Pair() string { return p.OpA + "/" + p.OpB }
+
+// Result is a completed sweep.
+type Result struct {
+	// Pairs holds one result per pair, sorted by (OpA, OpB).
+	Pairs []PairResult
+	// Workers is the resolved pool size.
+	Workers int
+	// Elapsed is the sweep wall time.
+	Elapsed time.Duration
+	// CacheHits and CacheMisses count cache outcomes during this sweep
+	// (both zero when no cache was configured).
+	CacheHits, CacheMisses int
+	// CacheWriteErrors counts pairs whose results could not be stored
+	// (disk full, permissions). Writes are best-effort: a failed store
+	// costs incrementality, never the sweep.
+	CacheWriteErrors int
+}
+
+// TotalTests sums generated tests across pairs.
+func (r *Result) TotalTests() int {
+	n := 0
+	for _, p := range r.Pairs {
+		n += p.Tests
+	}
+	return n
+}
+
+// Run executes the sweep described by cfg and returns the per-pair results.
+// Pair computation is deterministic, so the result is independent of worker
+// count and scheduling; only timing fields vary.
+func Run(cfg Config) (*Result, error) {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	// Solvers carry no cross-call guarantees, so a shared caller-provided
+	// solver forces sequential execution; the common nil case gets a
+	// fresh solver per pair inside analyzer/testgen.
+	if cfg.Analyzer.Solver != nil || cfg.Testgen.Solver != nil {
+		workers = 1
+	}
+
+	jobs := Pairs(cfg.Ops)
+
+	var hits0, misses0 int
+	if cfg.Cache != nil {
+		hits0, misses0 = cfg.Cache.Stats()
+	}
+
+	start := time.Now()
+	results := make([]PairResult, len(jobs))
+	errs := make([]error, len(jobs))
+	var (
+		emitMu sync.Mutex // serializes done/Progress/Artifact
+		done   int
+		enc    *json.Encoder
+	)
+	if cfg.Artifact != nil {
+		enc = json.NewEncoder(cfg.Artifact)
+	}
+
+	var (
+		failed         atomic.Bool // fail fast: stop starting pairs after the first error
+		cacheWriteErrs atomic.Int64
+	)
+	Parallel(len(jobs), workers, func(i int) {
+		if failed.Load() {
+			return
+		}
+		j := jobs[i]
+		pr, err := runPair(j[0], j[1], cfg, &cacheWriteErrs)
+		results[i], errs[i] = pr, err
+		if err != nil {
+			failed.Store(true)
+			return
+		}
+
+		emitMu.Lock()
+		defer emitMu.Unlock()
+		done++
+		if enc != nil {
+			if werr := enc.Encode(pr); werr != nil {
+				errs[i] = fmt.Errorf("sweep: artifact write: %w", werr)
+				failed.Store(true)
+			}
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(Event{
+				Pair:    pr.Pair(),
+				Done:    done,
+				Total:   len(jobs),
+				Tests:   pr.Tests,
+				Cached:  pr.Cached,
+				PairMS:  pr.ElapsedMS,
+				Elapsed: time.Since(start),
+			})
+		}
+	})
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{Pairs: results, Workers: workers, Elapsed: time.Since(start)}
+	sort.Slice(res.Pairs, func(i, j int) bool {
+		if res.Pairs[i].OpA != res.Pairs[j].OpA {
+			return res.Pairs[i].OpA < res.Pairs[j].OpA
+		}
+		return res.Pairs[i].OpB < res.Pairs[j].OpB
+	})
+	if cfg.Cache != nil {
+		h, m := cfg.Cache.Stats()
+		res.CacheHits, res.CacheMisses = h-hits0, m-misses0
+		res.CacheWriteErrors = int(cacheWriteErrs.Load())
+	}
+	return res, nil
+}
+
+// runPair executes the full pipeline for one pair, consulting the cache
+// first when one is configured.
+func runPair(a, b *model.OpDef, cfg Config, cacheWriteErrs *atomic.Int64) (PairResult, error) {
+	start := time.Now()
+	var key string
+	if cfg.Cache != nil {
+		key = Key(a.Name, b.Name, cfg.Analyzer, cfg.Testgen, kernelNames(cfg.Kernels))
+		if pr, ok := cfg.Cache.Get(key); ok {
+			pr.Cached = true
+			pr.ElapsedMS = msSince(start)
+			return *pr, nil
+		}
+	}
+
+	pr := analyzer.AnalyzePair(a, b, cfg.Analyzer)
+	tests := testgen.Generate(pr, cfg.Testgen)
+	out := PairResult{OpA: pr.OpA, OpB: pr.OpB, Tests: len(tests)}
+	for _, ks := range cfg.Kernels {
+		total, conflicts, err := CheckTests(ks.New, tests)
+		if err != nil {
+			return out, fmt.Errorf("sweep %s on %s: %w", out.Pair(), ks.Name, err)
+		}
+		out.Cells = append(out.Cells, KernelCell{Kernel: ks.Name, Total: total, Conflicts: conflicts})
+	}
+	out.ElapsedMS = msSince(start)
+
+	if cfg.Cache != nil {
+		// Best-effort, mirroring the read side's degradation contract: a
+		// failed store costs this pair its incrementality, not the sweep.
+		if err := cfg.Cache.Put(key, out); err != nil {
+			cacheWriteErrs.Add(1)
+		}
+	}
+	return out, nil
+}
+
+// Pairs enumerates the unordered pairs of ops in the orientation the whole
+// pipeline depends on — earlier op first, matching the original sequential
+// evaluation loop — so cache keys and matrix cells agree across every path
+// that fans out over pairs.
+func Pairs(ops []*model.OpDef) [][2]*model.OpDef {
+	var out [][2]*model.OpDef
+	for i, a := range ops {
+		for _, b := range ops[:i+1] {
+			out = append(out, [2]*model.OpDef{b, a})
+		}
+	}
+	return out
+}
+
+// CheckTests runs every test against fresh kernels from the constructor and
+// returns the Figure 6 cell counts (tests run, tests not conflict-free).
+// Both the sweep engine and the evaluation layer's matrix path count cells
+// through this one loop.
+func CheckTests(fresh func() kernel.Kernel, tests []kernel.TestCase) (total, conflicts int, err error) {
+	for _, tc := range tests {
+		res, err := kernel.Check(fresh, tc)
+		if err != nil {
+			return total, conflicts, fmt.Errorf("%s: %w", tc.ID, err)
+		}
+		total++
+		if !res.ConflictFree {
+			conflicts++
+		}
+	}
+	return total, conflicts, nil
+}
+
+func kernelNames(specs []KernelSpec) []string {
+	names := make([]string, len(specs))
+	for i, ks := range specs {
+		names[i] = ks.Name
+	}
+	return names
+}
+
+func msSince(t time.Time) float64 {
+	return float64(time.Since(t)) / float64(time.Millisecond)
+}
+
+// Parallel runs fn(i) for every i in [0, n) on up to workers goroutines
+// (<= 0 means runtime.NumCPU()). It is the scheduling primitive the
+// evaluation layer reuses to parallelize pre-existing loops.
+func Parallel(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}

@@ -1,0 +1,228 @@
+package sweep
+
+import (
+	"bytes"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/analyzer"
+	"repro/internal/kernel"
+	"repro/internal/kernel/monokernel"
+	"repro/internal/kernel/svsix"
+	"repro/internal/model"
+	"repro/internal/testgen"
+)
+
+// testOps is a small, fast operation universe (6 pairs) for engine tests.
+func testOps(t testing.TB) []*model.OpDef {
+	names := []string{"stat", "lseek", "close"}
+	out := make([]*model.OpDef, len(names))
+	for i, n := range names {
+		out[i] = model.OpByName(n)
+		if out[i] == nil {
+			t.Fatalf("unknown op %q", n)
+		}
+	}
+	return out
+}
+
+func testKernels() []KernelSpec {
+	return []KernelSpec{
+		{Name: "linux", New: func() kernel.Kernel { return monokernel.New() }},
+		{Name: "sv6", New: func() kernel.Kernel { return svsix.New() }},
+	}
+}
+
+// sequentialReference computes the expected sweep result with a plain
+// sequential loop over the same pipeline, mirroring the pre-engine
+// evaluation path (earlier-op-first pair orientation).
+func sequentialReference(t testing.TB, ops []*model.OpDef, kernels []KernelSpec) []PairResult {
+	t.Helper()
+	var out []PairResult
+	for i, a := range ops {
+		for _, b := range ops[:i+1] {
+			pr := analyzer.AnalyzePair(b, a, analyzer.Options{})
+			tests := testgen.Generate(pr, testgen.Options{})
+			res := PairResult{OpA: pr.OpA, OpB: pr.OpB, Tests: len(tests)}
+			for _, ks := range kernels {
+				cell := KernelCell{Kernel: ks.Name}
+				for _, tc := range tests {
+					cr, err := kernel.Check(ks.New, tc)
+					if err != nil {
+						t.Fatal(err)
+					}
+					cell.Total++
+					if !cr.ConflictFree {
+						cell.Conflicts++
+					}
+				}
+				res.Cells = append(res.Cells, cell)
+			}
+			out = append(out, res)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].OpA != out[j].OpA {
+			return out[i].OpA < out[j].OpA
+		}
+		return out[i].OpB < out[j].OpB
+	})
+	return out
+}
+
+// stripTiming clears the fields that legitimately vary between runs so the
+// deterministic payload can be compared directly.
+func stripTiming(pairs []PairResult) []PairResult {
+	out := make([]PairResult, len(pairs))
+	for i, p := range pairs {
+		p.ElapsedMS = 0
+		p.Cached = false
+		out[i] = p
+	}
+	return out
+}
+
+// TestSweepMatchesSequential pins the engine's core contract: the parallel
+// sweep computes exactly what the sequential pipeline computes, for any
+// worker count.
+func TestSweepMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep pipeline in -short mode")
+	}
+	ops, kernels := testOps(t), testKernels()
+	want := sequentialReference(t, ops, kernels)
+
+	for _, workers := range []int{1, 4} {
+		res, err := Run(Config{Ops: ops, Kernels: kernels, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if res.Workers != workers {
+			t.Errorf("workers=%d: resolved pool size %d", workers, res.Workers)
+		}
+		if got := stripTiming(res.Pairs); !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: sweep diverges from sequential pipeline\ngot  %+v\nwant %+v", workers, got, want)
+		}
+	}
+}
+
+// TestSweepWarmCache pins incrementality: a second identical sweep is all
+// hits and recomputes nothing, yet reports identical results.
+func TestSweepWarmCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep pipeline in -short mode")
+	}
+	ops, kernels := testOps(t), testKernels()
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Ops: ops, Kernels: kernels, Workers: 4, Cache: cache}
+
+	cold, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPairs := len(ops) * (len(ops) + 1) / 2
+	if len(cold.Pairs) != wantPairs {
+		t.Fatalf("got %d pairs, want %d", len(cold.Pairs), wantPairs)
+	}
+	if cold.CacheHits != 0 || cold.CacheMisses != wantPairs {
+		t.Errorf("cold run: hits=%d misses=%d, want 0/%d", cold.CacheHits, cold.CacheMisses, wantPairs)
+	}
+	for _, p := range cold.Pairs {
+		if p.Cached {
+			t.Errorf("cold run: pair %s claims to be cached", p.Pair())
+		}
+	}
+
+	warm, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.CacheHits != wantPairs || warm.CacheMisses != 0 {
+		t.Errorf("warm run: hits=%d misses=%d, want %d/0", warm.CacheHits, warm.CacheMisses, wantPairs)
+	}
+	for _, p := range warm.Pairs {
+		if !p.Cached {
+			t.Errorf("warm run: pair %s was recomputed", p.Pair())
+		}
+	}
+	if got, want := stripTiming(warm.Pairs), stripTiming(cold.Pairs); !reflect.DeepEqual(got, want) {
+		t.Errorf("warm results diverge from cold results\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestSweepProgressAndArtifact pins the streaming surfaces: one serialized
+// progress event per pair with a monotone Done counter, and a JSONL
+// artifact that round-trips to the same results.
+func TestSweepProgressAndArtifact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep pipeline in -short mode")
+	}
+	ops, kernels := testOps(t), testKernels()
+	var (
+		mu     sync.Mutex
+		events []Event
+	)
+	var artifact bytes.Buffer
+	res, err := Run(Config{
+		Ops: ops, Kernels: kernels, Workers: 4,
+		Progress: func(ev Event) {
+			mu.Lock()
+			events = append(events, ev)
+			mu.Unlock()
+		},
+		Artifact: &artifact,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantPairs := len(res.Pairs)
+	if len(events) != wantPairs {
+		t.Fatalf("got %d progress events, want %d", len(events), wantPairs)
+	}
+	for i, ev := range events {
+		if ev.Done != i+1 || ev.Total != wantPairs {
+			t.Errorf("event %d: done=%d total=%d, want %d/%d", i, ev.Done, ev.Total, i+1, wantPairs)
+		}
+	}
+
+	fromArtifact, err := ReadArtifact(&artifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(fromArtifact, func(i, j int) bool {
+		if fromArtifact[i].OpA != fromArtifact[j].OpA {
+			return fromArtifact[i].OpA < fromArtifact[j].OpA
+		}
+		return fromArtifact[i].OpB < fromArtifact[j].OpB
+	})
+	if got, want := stripTiming(fromArtifact), stripTiming(res.Pairs); !reflect.DeepEqual(got, want) {
+		t.Errorf("artifact diverges from results\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestParallel pins the scheduling primitive: every index runs exactly
+// once for degenerate and normal worker counts.
+func TestParallel(t *testing.T) {
+	for _, tc := range []struct{ n, workers int }{
+		{0, 4}, {1, 4}, {7, 1}, {7, 3}, {3, 100}, {16, 0},
+	} {
+		counts := make([]int, tc.n)
+		var mu sync.Mutex
+		Parallel(tc.n, tc.workers, func(i int) {
+			mu.Lock()
+			counts[i]++
+			mu.Unlock()
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Errorf("n=%d workers=%d: index %d ran %d times", tc.n, tc.workers, i, c)
+			}
+		}
+	}
+}
