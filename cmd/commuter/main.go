@@ -14,11 +14,15 @@
 //
 // The -ops flag selects the operation universe: "fs" (the 9 file-system
 // metadata and descriptor calls — fast), "all" (the full 18), or a
-// comma-separated list. The full 18-op matrix is dominated by the VM pairs;
-// sweep fans the pairs across a worker pool (-j, default all CPUs) and can
-// persist per-pair results in an on-disk cache (-cache), so a warm rerun
-// finishes in well under a second and a cold run takes minutes of
-// wall-clock rather than the tens of minutes the sequential path needs.
+// comma-separated list (deduplicated, first appearance wins). Every
+// pipeline command takes -lowestfd to model POSIX's lowest-FD rule instead
+// of the O_ANYFD variant, reproducing the lowest-FD column of Figure 6.
+//
+// The full 18-op matrix is dominated by the VM pairs; sweep fans the pairs
+// across a worker pool (-j, default all CPUs) and can persist per-pair
+// results in an on-disk cache (-cache), so a warm rerun finishes in well
+// under a second and a cold run takes minutes of wall-clock rather than
+// the tens of minutes the sequential path needs.
 package main
 
 import (
@@ -87,13 +91,21 @@ func opSet(s string) []*model.OpDef {
 		}
 		return out
 	}
+	// Dedupe while preserving first-appearance order: a repeated name
+	// ("open,open") must not enumerate its pairs more than once, which
+	// would multi-count them in matrix totals.
 	var out []*model.OpDef
+	seen := map[string]bool{}
 	for _, n := range strings.Split(s, ",") {
 		op := model.OpByName(strings.TrimSpace(n))
 		if op == nil {
 			fmt.Fprintf(os.Stderr, "commuter: unknown op %q\n", n)
 			os.Exit(2)
 		}
+		if seen[op.Name] {
+			continue
+		}
+		seen[op.Name] = true
 		out = append(out, op)
 	}
 	return out
@@ -133,12 +145,13 @@ func cmdTestgen(args []string) {
 	fs := flag.NewFlagSet("testgen", flag.ExitOnError)
 	pair := fs.String("pair", "rename,rename", "operation pair")
 	perPath := fs.Int("per-path", 4, "max isomorphism classes per path")
+	lowest := fs.Bool("lowestfd", false, "model POSIX's lowest-FD rule instead of O_ANYFD nondeterminism")
 	check := fs.Bool("check", false, "also run the tests on both kernels")
 	fs.Parse(args)
 
 	a, b := parsePair(*pair)
-	r := analyzer.AnalyzePair(a, b, analyzer.Options{})
-	tests := testgen.Generate(r, testgen.Options{MaxTestsPerPath: *perPath})
+	r := analyzer.AnalyzePair(a, b, analyzer.Options{Config: model.Config{LowestFD: *lowest}})
+	tests := testgen.Generate(r, testgen.Options{MaxTestsPerPath: *perPath, LowestFD: *lowest})
 	fmt.Printf("%d test cases for %s x %s\n", len(tests), r.OpA, r.OpB)
 	for _, tc := range tests {
 		printTest(tc)
@@ -208,13 +221,15 @@ func cmdMatrix(args []string) {
 	ops := fs.String("ops", "fs", `operation universe: "fs", "all", or a comma list`)
 	kern := fs.String("kernel", "both", "linux, sv6, or both")
 	perPath := fs.Int("per-path", 4, "max isomorphism classes per path")
+	lowest := fs.Bool("lowestfd", false, "model POSIX's lowest-FD rule instead of O_ANYFD nondeterminism")
 	fs.Parse(args)
 
 	universe := opSet(*ops)
 	kernels := kernelSet(*kern)
 	start := time.Now()
 	tests := eval.GenerateAllTests(universe,
-		analyzer.Options{}, testgen.Options{MaxTestsPerPath: *perPath},
+		analyzer.Options{Config: model.Config{LowestFD: *lowest}},
+		testgen.Options{MaxTestsPerPath: *perPath, LowestFD: *lowest},
 		func(pair string, n int) {
 			fmt.Fprintf(os.Stderr, "generated %-20s %4d tests (%v)\n", pair, n, time.Since(start).Round(time.Second))
 		})
@@ -243,13 +258,15 @@ func cmdSweep(args []string) {
 	out := fs.String("out", "", "write per-pair results as JSONL to this file")
 	kern := fs.String("kernel", "both", "linux, sv6, or both")
 	perPath := fs.Int("per-path", 4, "max isomorphism classes per path")
+	lowest := fs.Bool("lowestfd", false, "model POSIX's lowest-FD rule instead of O_ANYFD nondeterminism")
 	fs.Parse(args)
 
 	cfg := sweep.Config{
-		Ops:     opSet(*ops),
-		Kernels: eval.SweepKernels(kernelSet(*kern)...),
-		Testgen: testgen.Options{MaxTestsPerPath: *perPath},
-		Workers: *j,
+		Ops:      opSet(*ops),
+		Kernels:  eval.SweepKernels(kernelSet(*kern)...),
+		Analyzer: analyzer.Options{Config: model.Config{LowestFD: *lowest}},
+		Testgen:  testgen.Options{MaxTestsPerPath: *perPath, LowestFD: *lowest},
+		Workers:  *j,
 		Progress: func(ev sweep.Event) {
 			from := "computed"
 			if ev.Cached {
@@ -280,13 +297,22 @@ func cmdSweep(args []string) {
 
 	res, err := sweep.Run(cfg)
 	if err != nil {
+		if artifact != nil {
+			// The artifact holds an arbitrary prefix of the failed sweep,
+			// and a truncated JSONL file parses as a complete one; remove
+			// it so nothing downstream mistakes it for a finished run.
+			artifact.Close()
+			os.Remove(*out)
+		}
 		fmt.Fprintln(os.Stderr, "commuter:", err)
 		os.Exit(1)
 	}
 	if artifact != nil {
 		// A close error (deferred write failure on NFS, full disk) means a
-		// truncated artifact; fail loudly rather than exit 0 with bad data.
+		// truncated artifact; remove it and fail loudly rather than exit 0
+		// leaving bad data that parses as a complete run.
 		if err := artifact.Close(); err != nil {
+			os.Remove(*out)
 			fmt.Fprintln(os.Stderr, "commuter: artifact:", err)
 			os.Exit(1)
 		}
@@ -294,11 +320,13 @@ func cmdSweep(args []string) {
 	fmt.Printf("swept %d pairs (%d tests) on %d workers in %v",
 		len(res.Pairs), res.TotalTests(), res.Workers, res.Elapsed.Round(time.Millisecond))
 	if cfg.Cache != nil {
-		fmt.Printf("; cache: %d hits, %d misses", res.CacheHits, res.CacheMisses)
+		fmt.Printf("; cache: testgen %d hits/%d misses, check %d hits/%d misses",
+			res.Cache.TestgenHits, res.Cache.TestgenMisses,
+			res.Cache.CheckHits, res.Cache.CheckMisses)
 	}
 	fmt.Print("\n\n")
 	if res.CacheWriteErrors > 0 {
-		fmt.Fprintf(os.Stderr, "commuter: warning: %d pair results could not be cached\n", res.CacheWriteErrors)
+		fmt.Fprintf(os.Stderr, "commuter: warning: %d cache entries could not be stored\n", res.CacheWriteErrors)
 	}
 	for _, m := range eval.MatricesFromSweep(res) {
 		fmt.Println(eval.FormatMatrix(m))

@@ -68,8 +68,11 @@ type (
 	SweepPair = sweep.PairResult
 	// SweepEvent is one streaming sweep progress report.
 	SweepEvent = sweep.Event
-	// SweepCache is the on-disk per-pair result cache.
+	// SweepCache is the two-tier on-disk sweep cache (generated tests in a
+	// kernel-independent TESTGEN tier, per-kernel cells in a CHECK tier).
 	SweepCache = sweep.Cache
+	// SweepCacheStats counts per-tier cache hits and misses.
+	SweepCacheStats = sweep.CacheStats
 	// KernelSpec names a kernel implementation for a sweep.
 	KernelSpec = sweep.KernelSpec
 )

@@ -42,8 +42,35 @@ func BenchmarkSweepWarmCache(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if res.CacheMisses != 0 {
-			b.Fatalf("warm run missed %d pairs", res.CacheMisses)
+		if n := res.Cache.Misses(); n != 0 {
+			b.Fatalf("warm run missed %d entries", n)
+		}
+	}
+}
+
+// BenchmarkSweepWarmSubset measures the kernel-subset rerun the two-tier
+// cache makes incremental: the cache is populated by a both-kernel sweep,
+// then one kernel is swept against it. Both tiers serve, so this should
+// track BenchmarkSweepWarmCache (warm-subset ≈ warm-full) rather than the
+// cold pipeline.
+func BenchmarkSweepWarmSubset(b *testing.B) {
+	ops, kernels := testOps(b), testKernels()
+	cache, err := OpenCache(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := Run(Config{Ops: ops, Kernels: kernels, Cache: cache}); err != nil {
+		b.Fatal(err)
+	}
+	sub := Config{Ops: ops, Kernels: kernels[1:], Cache: cache}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(sub)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n := res.Cache.Misses(); n != 0 {
+			b.Fatalf("warm subset run missed %d entries", n)
 		}
 	}
 }

@@ -1,5 +1,19 @@
-// On-disk result cache for sweeps: one JSON file per pair, named by a
-// content-addressed key over everything that determines the pair's result.
+// On-disk sweep cache, split along the pipeline's phase boundary into two
+// tiers of content-addressed JSON files:
+//
+//   - The TESTGEN tier stores the generated test cases of one pair, keyed
+//     by the pair and every analyzer/testgen option that shapes them. The
+//     key deliberately excludes the kernel set: ANALYZE and TESTGEN never
+//     look at an implementation, so the (dominant) symbolic work is shared
+//     across every kernel selection.
+//   - The CHECK tier stores one kernel's aggregate cell for one pair, keyed
+//     by the TESTGEN key plus the kernel name. The testgen key pins the
+//     exact test slice the cell was computed from, so a cell hit never has
+//     to re-read or re-validate the tests it summarizes.
+//
+// A `-kernel sv6` rerun after a `-kernel both` sweep therefore hits both
+// tiers and runs nothing, and adding a new kernel reruns only CHECK against
+// the cached tests.
 package sweep
 
 import (
@@ -14,23 +28,26 @@ import (
 	"time"
 
 	"repro/internal/analyzer"
+	"repro/internal/kernel"
 	"repro/internal/testgen"
 )
 
 // CacheVersion stamps every key and entry. Bump it whenever the model,
 // analyzer, testgen or checker semantics change, so stale results from an
-// older code version are recomputed instead of trusted.
-const CacheVersion = 1
+// older code version are recomputed instead of trusted. Version 2
+// introduced the two-tier layout; version-1 single-tier entries are simply
+// never matched again.
+const CacheVersion = 2
 
-// Key derives the content address of one pair's sweep result from the pair
-// itself and every option that influences it. The encoding is an explicit
-// field-by-field string (not struct marshaling) so the key is stable across
-// runs and robust to field reordering; solvers are deliberately excluded
-// because they don't change results, only how they're searched for.
-// Zero-value options are normalized to the defaults the pipeline applies
-// (MaxPaths 4096, MaxTestsPerPath 4), so semantically identical
-// configurations share cache entries.
-func Key(opA, opB string, aOpt analyzer.Options, gOpt testgen.Options, kernels []string) string {
+// TestgenKey derives the content address of the kernel-independent phase:
+// the test cases ANALYZE → TESTGEN produces for one pair. The encoding is
+// an explicit field-by-field string (not struct marshaling) so the key is
+// stable across runs and robust to field reordering; solvers are
+// deliberately excluded because they don't change results, only how
+// they're searched for. Zero-value options are normalized to the defaults
+// the pipeline applies (MaxPaths 4096, MaxTestsPerPath 4), so semantically
+// identical configurations share cache entries.
+func TestgenKey(opA, opB string, aOpt analyzer.Options, gOpt testgen.Options) string {
 	maxPaths := aOpt.MaxPaths
 	if maxPaths == 0 {
 		maxPaths = 4096
@@ -40,33 +57,74 @@ func Key(opA, opB string, aOpt analyzer.Options, gOpt testgen.Options, kernels [
 		perPath = 4
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "v%d|pair=%s,%s", CacheVersion, opA, opB)
+	fmt.Fprintf(&b, "v%d|tier=testgen|pair=%s,%s", CacheVersion, opA, opB)
 	fmt.Fprintf(&b, "|model.lowestfd=%v", aOpt.Config.LowestFD)
 	fmt.Fprintf(&b, "|analyzer.maxpaths=%d", maxPaths)
 	fmt.Fprintf(&b, "|testgen.maxtestsperpath=%d", perPath)
 	fmt.Fprintf(&b, "|testgen.lowestfd=%v", gOpt.LowestFD)
-	fmt.Fprintf(&b, "|kernels=%s", strings.Join(kernels, ","))
 	sum := sha256.Sum256([]byte(b.String()))
 	return hex.EncodeToString(sum[:])
 }
 
-// Cache is a directory of per-pair result files. It is safe for concurrent
+// CheckKey derives the content address of one kernel's CHECK cell from the
+// TESTGEN key of the tests it ran and the kernel's name. Chaining through
+// the testgen key means every input that moves the tests moves the cell
+// key too, without restating them.
+func CheckKey(testgenKey, kernelName string) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("v%d|tier=check|testgen=%s|kernel=%s",
+		CacheVersion, testgenKey, kernelName)))
+	return hex.EncodeToString(sum[:])
+}
+
+// CacheStats counts hit/miss outcomes per tier.
+type CacheStats struct {
+	TestgenHits, TestgenMisses int
+	CheckHits, CheckMisses     int
+}
+
+// Hits sums hits across both tiers.
+func (s CacheStats) Hits() int { return s.TestgenHits + s.CheckHits }
+
+// Misses sums misses across both tiers.
+func (s CacheStats) Misses() int { return s.TestgenMisses + s.CheckMisses }
+
+// Sub returns the per-field difference s − t, for windowed accounting.
+func (s CacheStats) Sub(t CacheStats) CacheStats {
+	return CacheStats{
+		TestgenHits:   s.TestgenHits - t.TestgenHits,
+		TestgenMisses: s.TestgenMisses - t.TestgenMisses,
+		CheckHits:     s.CheckHits - t.CheckHits,
+		CheckMisses:   s.CheckMisses - t.CheckMisses,
+	}
+}
+
+// Cache is a directory of two-tier entry files. It is safe for concurrent
 // use by the sweep workers; distinct keys never contend on the filesystem
 // because each lives in its own file, written atomically.
 type Cache struct {
 	dir string
 
-	mu           sync.Mutex
-	hits, misses int
+	mu    sync.Mutex
+	stats CacheStats
 }
 
-// cacheEntry is the on-disk format. Version and Key are stored redundantly
-// with the filename so a mismatched or truncated file is detected and
-// treated as a miss rather than trusted.
-type cacheEntry struct {
+// testgenEntry is the TESTGEN tier's on-disk format: the serialized test
+// cases of one pair. TestCase is plain data (ID, Setup, Calls), so it
+// JSON-round-trips exactly. Version and Key are stored redundantly with
+// the filename so a mismatched or truncated file is detected and treated
+// as a miss rather than trusted.
+type testgenEntry struct {
+	Version int               `json:"version"`
+	Key     string            `json:"key"`
+	Tests   []kernel.TestCase `json:"tests"`
+}
+
+// checkEntry is the CHECK tier's on-disk format: one kernel's cell for the
+// tests named by the entry's (testgen-derived) key.
+type checkEntry struct {
 	Version int        `json:"version"`
 	Key     string     `json:"key"`
-	Pair    PairResult `json:"pair"`
+	Cell    KernelCell `json:"cell"`
 }
 
 // staleTempAge is how old an orphaned temp file must be before OpenCache
@@ -95,44 +153,76 @@ func OpenCache(dir string) (*Cache, error) {
 // Dir returns the cache's root directory.
 func (c *Cache) Dir() string { return c.dir }
 
-func (c *Cache) path(key string) string {
-	return filepath.Join(c.dir, key+".json")
+// testsPath and cellPath give the tiers distinct filename suffixes so a
+// cache directory is inspectable by eye; the keys alone would already be
+// distinct (each tier hashes its tier name).
+func (c *Cache) testsPath(key string) string {
+	return filepath.Join(c.dir, key+".tests.json")
 }
 
-// Get returns the cached result for key. Any defect — missing file,
-// unparsable JSON, version or key mismatch — is a miss: the sweep
+func (c *Cache) cellPath(key string) string {
+	return filepath.Join(c.dir, key+".cell.json")
+}
+
+// GetTests returns the TESTGEN tier entry for key. Any defect — missing
+// file, unparsable JSON, version or key mismatch — is a miss: the sweep
 // recomputes and overwrites, never fails.
-func (c *Cache) Get(key string) (*PairResult, bool) {
-	data, err := os.ReadFile(c.path(key))
-	if err != nil {
-		return c.record(nil, false)
-	}
-	var e cacheEntry
-	if err := json.Unmarshal(data, &e); err != nil || e.Version != CacheVersion || e.Key != key {
-		return c.record(nil, false)
-	}
-	return c.record(&e.Pair, true)
-}
-
-func (c *Cache) record(pr *PairResult, hit bool) (*PairResult, bool) {
+func (c *Cache) GetTests(key string) ([]kernel.TestCase, bool) {
+	var e testgenEntry
+	ok := readEntry(c.testsPath(key), &e) && e.Version == CacheVersion && e.Key == key
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if hit {
-		c.hits++
+	if ok {
+		c.stats.TestgenHits++
 	} else {
-		c.misses++
+		c.stats.TestgenMisses++
 	}
-	return pr, hit
+	c.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return e.Tests, true
 }
 
-// Put stores a result under key. Timing and cache provenance are stripped:
-// the entry holds only what is reproducible from the key. The write goes
-// through a temp file and rename so a crashed or concurrent sweep can never
-// leave a half-written entry that parses.
-func (c *Cache) Put(key string, pr PairResult) error {
-	pr.Cached = false
-	pr.ElapsedMS = 0
-	data, err := json.MarshalIndent(cacheEntry{Version: CacheVersion, Key: key, Pair: pr}, "", "\t")
+// PutTests stores a pair's generated tests under key. The write goes
+// through a temp file and rename so a crashed or concurrent sweep can
+// never leave a half-written entry that parses.
+func (c *Cache) PutTests(key string, tests []kernel.TestCase) error {
+	return c.writeEntry(c.testsPath(key), key, testgenEntry{Version: CacheVersion, Key: key, Tests: tests})
+}
+
+// GetCell returns the CHECK tier entry for key, with the same
+// miss-on-any-defect contract as GetTests.
+func (c *Cache) GetCell(key string) (*KernelCell, bool) {
+	var e checkEntry
+	ok := readEntry(c.cellPath(key), &e) && e.Version == CacheVersion && e.Key == key
+	c.mu.Lock()
+	if ok {
+		c.stats.CheckHits++
+	} else {
+		c.stats.CheckMisses++
+	}
+	c.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return &e.Cell, true
+}
+
+// PutCell stores one kernel's cell under key, atomically like PutTests.
+func (c *Cache) PutCell(key string, cell KernelCell) error {
+	return c.writeEntry(c.cellPath(key), key, checkEntry{Version: CacheVersion, Key: key, Cell: cell})
+}
+
+func readEntry(path string, v any) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false
+	}
+	return json.Unmarshal(data, v) == nil
+}
+
+func (c *Cache) writeEntry(path, key string, v any) error {
+	data, err := json.MarshalIndent(v, "", "\t")
 	if err != nil {
 		return err
 	}
@@ -149,16 +239,17 @@ func (c *Cache) Put(key string, pr PairResult) error {
 		os.Remove(tmp.Name())
 		return err
 	}
-	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
 		return err
 	}
 	return nil
 }
 
-// Stats returns cumulative hit and miss counts since the cache was opened.
-func (c *Cache) Stats() (hits, misses int) {
+// Stats returns cumulative per-tier hit and miss counts since the cache
+// was opened.
+func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return c.stats
 }

@@ -4,17 +4,19 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
 	"repro/internal/analyzer"
+	"repro/internal/kernel"
 	"repro/internal/model"
 	"repro/internal/testgen"
 )
 
-func TestKeyStability(t *testing.T) {
+func TestTestgenKeyStability(t *testing.T) {
 	base := func() string {
-		return Key("open", "rename", analyzer.Options{}, testgen.Options{MaxTestsPerPath: 4}, []string{"linux", "sv6"})
+		return TestgenKey("open", "rename", analyzer.Options{}, testgen.Options{MaxTestsPerPath: 4})
 	}
 	k := base()
 	if len(k) != 64 || strings.Trim(k, "0123456789abcdef") != "" {
@@ -26,13 +28,12 @@ func TestKeyStability(t *testing.T) {
 
 	// Every determining input must move the key.
 	variants := map[string]string{
-		"pair":         Key("open", "link", analyzer.Options{}, testgen.Options{MaxTestsPerPath: 4}, []string{"linux", "sv6"}),
-		"pair order":   Key("rename", "open", analyzer.Options{}, testgen.Options{MaxTestsPerPath: 4}, []string{"linux", "sv6"}),
-		"model config": Key("open", "rename", analyzer.Options{Config: model.Config{LowestFD: true}}, testgen.Options{MaxTestsPerPath: 4}, []string{"linux", "sv6"}),
-		"max paths":    Key("open", "rename", analyzer.Options{MaxPaths: 128}, testgen.Options{MaxTestsPerPath: 4}, []string{"linux", "sv6"}),
-		"per path":     Key("open", "rename", analyzer.Options{}, testgen.Options{MaxTestsPerPath: 8}, []string{"linux", "sv6"}),
-		"gen lowestfd": Key("open", "rename", analyzer.Options{}, testgen.Options{MaxTestsPerPath: 4, LowestFD: true}, []string{"linux", "sv6"}),
-		"kernels":      Key("open", "rename", analyzer.Options{}, testgen.Options{MaxTestsPerPath: 4}, []string{"sv6"}),
+		"pair":         TestgenKey("open", "link", analyzer.Options{}, testgen.Options{MaxTestsPerPath: 4}),
+		"pair order":   TestgenKey("rename", "open", analyzer.Options{}, testgen.Options{MaxTestsPerPath: 4}),
+		"model config": TestgenKey("open", "rename", analyzer.Options{Config: model.Config{LowestFD: true}}, testgen.Options{MaxTestsPerPath: 4}),
+		"max paths":    TestgenKey("open", "rename", analyzer.Options{MaxPaths: 128}, testgen.Options{MaxTestsPerPath: 4}),
+		"per path":     TestgenKey("open", "rename", analyzer.Options{}, testgen.Options{MaxTestsPerPath: 8}),
+		"gen lowestfd": TestgenKey("open", "rename", analyzer.Options{}, testgen.Options{MaxTestsPerPath: 4, LowestFD: true}),
 	}
 	for what, v := range variants {
 		if v == k {
@@ -42,111 +43,176 @@ func TestKeyStability(t *testing.T) {
 
 	// Zero-value options normalize to the pipeline defaults, so explicit
 	// and implicit defaults share cache entries.
-	zero := Key("open", "rename", analyzer.Options{}, testgen.Options{}, []string{"linux", "sv6"})
-	explicit := Key("open", "rename", analyzer.Options{MaxPaths: 4096}, testgen.Options{MaxTestsPerPath: 4}, []string{"linux", "sv6"})
+	zero := TestgenKey("open", "rename", analyzer.Options{}, testgen.Options{})
+	explicit := TestgenKey("open", "rename", analyzer.Options{MaxPaths: 4096}, testgen.Options{MaxTestsPerPath: 4})
 	if zero != explicit {
 		t.Error("explicit defaults produced a different key than zero values")
 	}
+
+	// The kernel set must NOT influence the testgen key: that independence
+	// is what makes kernel-subset reruns incremental.
+	ck := CheckKey(k, "sv6")
+	if len(ck) != 64 || ck == k {
+		t.Errorf("check key %q is not a distinct sha256", ck)
+	}
+	if CheckKey(k, "linux") == ck {
+		t.Error("changing the kernel did not change the check key")
+	}
+	if CheckKey(variants["pair"], "sv6") == ck {
+		t.Error("changing the testgen key did not change the check key")
+	}
 }
 
-func TestCacheHitMissAccounting(t *testing.T) {
+// cachedTests is a nontrivial test-case slice exercising every Setup field
+// that must survive the JSON round trip through the TESTGEN tier.
+func cachedTests() []kernel.TestCase {
+	return []kernel.TestCase{{
+		ID: "open_rename_path0_test0",
+		Setup: kernel.Setup{
+			Files:  []kernel.SetupFile{{Name: "f1", Inum: 1}},
+			Inodes: []kernel.SetupInode{{Inum: 1, ExtraLinks: 2, Len: 1, Pages: map[int64]int64{0: 7}}},
+			FDs:    []kernel.SetupFD{{Proc: 1, FD: 3, Inum: 1, Off: 1}},
+			Pipes:  []kernel.SetupPipe{{ID: 1, Items: []int64{4, 5}}},
+			VMAs:   []kernel.SetupVMA{{Proc: 0, Page: 2, Anon: true, Val: 9, Writable: true}},
+		},
+		Calls: [2]kernel.Call{
+			{Op: "open", Proc: 0, Args: map[string]int64{"fname": 1, "anyfd": 1}},
+			{Op: "rename", Proc: 1, Args: map[string]int64{"src": 1, "dst": 2}},
+		},
+	}}
+}
+
+func TestCacheTierRoundTripAndAccounting(t *testing.T) {
 	c, err := OpenCache(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
-	key := Key("stat", "stat", analyzer.Options{}, testgen.Options{}, []string{"sv6"})
+	tgKey := TestgenKey("open", "rename", analyzer.Options{}, testgen.Options{})
+	ckKey := CheckKey(tgKey, "sv6")
 
-	if _, ok := c.Get(key); ok {
-		t.Fatal("hit on empty cache")
+	if _, ok := c.GetTests(tgKey); ok {
+		t.Fatal("testgen hit on empty cache")
 	}
-	want := PairResult{OpA: "stat", OpB: "stat", Tests: 3,
-		Cells: []KernelCell{{Kernel: "sv6", Total: 3, Conflicts: 1}}}
-	if err := c.Put(key, want); err != nil {
+	if _, ok := c.GetCell(ckKey); ok {
+		t.Fatal("check hit on empty cache")
+	}
+
+	tests := cachedTests()
+	if err := c.PutTests(tgKey, tests); err != nil {
 		t.Fatal(err)
 	}
-	got, ok := c.Get(key)
+	got, ok := c.GetTests(tgKey)
 	if !ok {
-		t.Fatal("miss after Put")
+		t.Fatal("testgen miss after PutTests")
 	}
-	if got.OpA != want.OpA || got.OpB != want.OpB || got.Tests != want.Tests ||
-		len(got.Cells) != 1 || got.Cells[0] != want.Cells[0] {
-		t.Errorf("got %+v, want %+v", got, want)
+	if !reflect.DeepEqual(got, tests) {
+		t.Errorf("tests did not round-trip\ngot  %+v\nwant %+v", got, tests)
 	}
-	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
-		t.Errorf("stats hits=%d misses=%d, want 1/1", hits, misses)
+
+	cell := KernelCell{Kernel: "sv6", Total: 3, Conflicts: 1}
+	if err := c.PutCell(ckKey, cell); err != nil {
+		t.Fatal(err)
+	}
+	gotCell, ok := c.GetCell(ckKey)
+	if !ok {
+		t.Fatal("check miss after PutCell")
+	}
+	if *gotCell != cell {
+		t.Errorf("cell did not round-trip: got %+v, want %+v", *gotCell, cell)
+	}
+
+	want := CacheStats{TestgenHits: 1, TestgenMisses: 1, CheckHits: 1, CheckMisses: 1}
+	if s := c.Stats(); s != want {
+		t.Errorf("stats %+v, want %+v", s, want)
+	}
+	if s := c.Stats(); s.Hits() != 2 || s.Misses() != 2 {
+		t.Errorf("tier sums hits=%d misses=%d, want 2/2", s.Hits(), s.Misses())
 	}
 }
 
-// TestCachePutStripsProvenance pins that stored entries never carry timing
-// or cached-ness from the run that produced them.
-func TestCachePutStripsProvenance(t *testing.T) {
-	c, err := OpenCache(t.TempDir())
-	if err != nil {
-		t.Fatal(err)
-	}
-	key := Key("lseek", "lseek", analyzer.Options{}, testgen.Options{}, []string{"linux"})
-	if err := c.Put(key, PairResult{OpA: "lseek", OpB: "lseek", Cached: true, ElapsedMS: 99}); err != nil {
-		t.Fatal(err)
-	}
-	got, ok := c.Get(key)
-	if !ok {
-		t.Fatal("miss after Put")
-	}
-	if got.Cached || got.ElapsedMS != 0 {
-		t.Errorf("stored entry kept provenance: %+v", got)
-	}
-}
-
-// TestCacheCorruptionRecovery pins the graceful-degradation contract: a
-// corrupted, version-mismatched or key-mismatched entry is a miss (so the
-// sweep recomputes), never an error.
+// TestCacheCorruptionRecovery pins the graceful-degradation contract on
+// both tiers: a corrupted, version-mismatched or key-mismatched entry is a
+// miss (so the sweep recomputes), never an error. The version-mismatch
+// cases double as the CacheVersion-bump discipline: entries stamped by an
+// older code version are never matched again.
 func TestCacheCorruptionRecovery(t *testing.T) {
 	dir := t.TempDir()
 	c, err := OpenCache(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	key := Key("close", "close", analyzer.Options{}, testgen.Options{}, []string{"sv6"})
-	good := PairResult{OpA: "close", OpB: "close", Tests: 2,
-		Cells: []KernelCell{{Kernel: "sv6", Total: 2}}}
-	if err := c.Put(key, good); err != nil {
+	tgKey := TestgenKey("close", "close", analyzer.Options{}, testgen.Options{})
+	ckKey := CheckKey(tgKey, "sv6")
+	tests := cachedTests()
+	cell := KernelCell{Kernel: "sv6", Total: 2}
+	if err := c.PutTests(tgKey, tests); err != nil {
 		t.Fatal(err)
 	}
-	path := filepath.Join(dir, key+".json")
-
-	// Truncated garbage.
-	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+	if err := c.PutCell(ckKey, cell); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := c.Get(key); ok {
-		t.Error("corrupted entry served as a hit")
+	testsFile := filepath.Join(dir, tgKey+".tests.json")
+	cellFile := filepath.Join(dir, ckKey+".cell.json")
+
+	// Truncated garbage in either tier.
+	for _, f := range []string{testsFile, cellFile} {
+		if err := os.WriteFile(f, []byte("{not json"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := c.GetTests(tgKey); ok {
+		t.Error("corrupted testgen entry served as a hit")
+	}
+	if _, ok := c.GetCell(ckKey); ok {
+		t.Error("corrupted check entry served as a hit")
 	}
 
-	// Valid JSON from a different (older) code version.
-	stale, _ := json.Marshal(cacheEntry{Version: CacheVersion - 1, Key: key, Pair: good})
-	if err := os.WriteFile(path, stale, 0o644); err != nil {
+	// Valid JSON from a different (older) code version: what a
+	// CacheVersion bump leaves behind.
+	staleT, _ := json.Marshal(testgenEntry{Version: CacheVersion - 1, Key: tgKey, Tests: tests})
+	staleC, _ := json.Marshal(checkEntry{Version: CacheVersion - 1, Key: ckKey, Cell: cell})
+	if err := os.WriteFile(testsFile, staleT, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := c.Get(key); ok {
-		t.Error("version-mismatched entry served as a hit")
+	if err := os.WriteFile(cellFile, staleC, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.GetTests(tgKey); ok {
+		t.Error("version-mismatched testgen entry served as a hit")
+	}
+	if _, ok := c.GetCell(ckKey); ok {
+		t.Error("version-mismatched check entry served as a hit")
 	}
 
-	// Entry whose embedded key disagrees with its filename (e.g. a file
+	// Entries whose embedded key disagrees with the filename (e.g. files
 	// copied between cache dirs).
-	alien, _ := json.Marshal(cacheEntry{Version: CacheVersion, Key: "somebody-else", Pair: good})
-	if err := os.WriteFile(path, alien, 0o644); err != nil {
+	alienT, _ := json.Marshal(testgenEntry{Version: CacheVersion, Key: "somebody-else", Tests: tests})
+	alienC, _ := json.Marshal(checkEntry{Version: CacheVersion, Key: "somebody-else", Cell: cell})
+	if err := os.WriteFile(testsFile, alienT, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := c.Get(key); ok {
-		t.Error("key-mismatched entry served as a hit")
+	if err := os.WriteFile(cellFile, alienC, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.GetTests(tgKey); ok {
+		t.Error("key-mismatched testgen entry served as a hit")
+	}
+	if _, ok := c.GetCell(ckKey); ok {
+		t.Error("key-mismatched check entry served as a hit")
 	}
 
-	// Overwriting repairs the slot.
-	if err := c.Put(key, good); err != nil {
+	// Overwriting repairs both slots.
+	if err := c.PutTests(tgKey, tests); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := c.Get(key); !ok {
-		t.Error("repaired entry still misses")
+	if err := c.PutCell(ckKey, cell); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.GetTests(tgKey); !ok {
+		t.Error("repaired testgen entry still misses")
+	}
+	if _, ok := c.GetCell(ckKey); !ok {
+		t.Error("repaired check entry still misses")
 	}
 }
 
@@ -179,14 +245,16 @@ func TestSweepSurvivesUnwritableCache(t *testing.T) {
 	if len(res.Pairs) != wantPairs {
 		t.Errorf("got %d pairs, want %d", len(res.Pairs), wantPairs)
 	}
-	if res.CacheWriteErrors != wantPairs {
-		t.Errorf("CacheWriteErrors=%d, want %d", res.CacheWriteErrors, wantPairs)
+	// One failed testgen store plus one failed cell store per kernel, per
+	// pair.
+	if want := wantPairs * (1 + len(kernels)); res.CacheWriteErrors != want {
+		t.Errorf("CacheWriteErrors=%d, want %d", res.CacheWriteErrors, want)
 	}
 }
 
 // TestSweepRecoversFromCorruptedCache pins end-to-end recovery: a sweep
-// over a cache directory full of garbage recomputes everything and
-// succeeds.
+// over a cache directory full of garbage recomputes everything in both
+// tiers and succeeds.
 func TestSweepRecoversFromCorruptedCache(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep pipeline in -short mode")
@@ -203,13 +271,14 @@ func TestSweepRecoversFromCorruptedCache(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Smash every entry on disk.
+	// Smash every entry on disk, in both tiers.
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(entries) != len(first.Pairs) {
-		t.Fatalf("cache holds %d files, want %d", len(entries), len(first.Pairs))
+	wantFiles := len(first.Pairs) * (1 + len(kernels))
+	if len(entries) != wantFiles {
+		t.Fatalf("cache holds %d files, want %d", len(entries), wantFiles)
 	}
 	for _, e := range entries {
 		if err := os.WriteFile(filepath.Join(dir, e.Name()), []byte("garbage"), 0o644); err != nil {
@@ -221,9 +290,12 @@ func TestSweepRecoversFromCorruptedCache(t *testing.T) {
 	if err != nil {
 		t.Fatalf("sweep failed on corrupted cache: %v", err)
 	}
-	if second.CacheHits != 0 || second.CacheMisses != len(first.Pairs) {
-		t.Errorf("corrupted cache: hits=%d misses=%d, want 0/%d",
-			second.CacheHits, second.CacheMisses, len(first.Pairs))
+	wantMiss := CacheStats{
+		TestgenMisses: len(first.Pairs),
+		CheckMisses:   len(first.Pairs) * len(kernels),
+	}
+	if second.Cache != wantMiss {
+		t.Errorf("corrupted cache: stats %+v, want %+v", second.Cache, wantMiss)
 	}
 
 	// Third run sees the repaired entries.
@@ -231,8 +303,11 @@ func TestSweepRecoversFromCorruptedCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if third.CacheHits != len(first.Pairs) || third.CacheMisses != 0 {
-		t.Errorf("after repair: hits=%d misses=%d, want %d/0",
-			third.CacheHits, third.CacheMisses, len(first.Pairs))
+	wantHit := CacheStats{
+		TestgenHits: len(first.Pairs),
+		CheckHits:   len(first.Pairs) * len(kernels),
+	}
+	if third.Cache != wantHit {
+		t.Errorf("after repair: stats %+v, want %+v", third.Cache, wantHit)
 	}
 }

@@ -45,7 +45,8 @@ type Event struct {
 	Done, Total int
 	// Tests is the number of generated test cases for the pair.
 	Tests int
-	// Cached reports that the pair was served from the cache.
+	// Cached reports that the pair was served entirely from the cache
+	// (TESTGEN tier plus every kernel's CHECK tier entry).
 	Cached bool
 	// PairMS is the wall time this pair took, in milliseconds.
 	PairMS float64
@@ -90,7 +91,8 @@ type PairResult struct {
 	OpB   string       `json:"op_b"`
 	Tests int          `json:"tests"`
 	Cells []KernelCell `json:"cells,omitempty"`
-	// Cached reports the result was served from the cache (never stored).
+	// Cached reports that nothing was recomputed for the pair: the tests
+	// came from the TESTGEN tier and every cell from the CHECK tier.
 	Cached bool `json:"cached,omitempty"`
 	// ElapsedMS is the wall time this pair took in this sweep.
 	ElapsedMS float64 `json:"elapsed_ms"`
@@ -107,12 +109,13 @@ type Result struct {
 	Workers int
 	// Elapsed is the sweep wall time.
 	Elapsed time.Duration
-	// CacheHits and CacheMisses count cache outcomes during this sweep
-	// (both zero when no cache was configured).
-	CacheHits, CacheMisses int
-	// CacheWriteErrors counts pairs whose results could not be stored
-	// (disk full, permissions). Writes are best-effort: a failed store
-	// costs incrementality, never the sweep.
+	// Cache counts per-tier hit/miss outcomes during this sweep (all zero
+	// when no cache was configured). A TESTGEN miss means the pair's
+	// symbolic analysis ran; a CHECK miss means one kernel's tests ran.
+	Cache CacheStats
+	// CacheWriteErrors counts cache entries (testgen or check tier) that
+	// could not be stored (disk full, permissions). Writes are
+	// best-effort: a failed store costs incrementality, never the sweep.
 	CacheWriteErrors int
 }
 
@@ -142,9 +145,9 @@ func Run(cfg Config) (*Result, error) {
 
 	jobs := Pairs(cfg.Ops)
 
-	var hits0, misses0 int
+	var stats0 CacheStats
 	if cfg.Cache != nil {
-		hits0, misses0 = cfg.Cache.Stats()
+		stats0 = cfg.Cache.Stats()
 	}
 
 	start := time.Now()
@@ -211,46 +214,72 @@ func Run(cfg Config) (*Result, error) {
 		return res.Pairs[i].OpB < res.Pairs[j].OpB
 	})
 	if cfg.Cache != nil {
-		h, m := cfg.Cache.Stats()
-		res.CacheHits, res.CacheMisses = h-hits0, m-misses0
+		res.Cache = cfg.Cache.Stats().Sub(stats0)
 		res.CacheWriteErrors = int(cacheWriteErrs.Load())
 	}
 	return res, nil
 }
 
-// runPair executes the full pipeline for one pair, consulting the cache
-// first when one is configured.
+// runPair assembles one pair's result from whichever cache tiers hit,
+// computing only the phases that miss: a TESTGEN miss runs the symbolic
+// analysis and test generation, and each kernel's CHECK miss runs that
+// kernel against the (cached or fresh) tests. Cache writes are
+// best-effort, mirroring the read side's degradation contract: a failed
+// store costs incrementality, never the sweep.
 func runPair(a, b *model.OpDef, cfg Config, cacheWriteErrs *atomic.Int64) (PairResult, error) {
 	start := time.Now()
-	var key string
+	out := PairResult{OpA: a.Name, OpB: b.Name}
+
+	var (
+		tgKey     string
+		tests     []kernel.TestCase
+		haveTests bool
+	)
 	if cfg.Cache != nil {
-		key = Key(a.Name, b.Name, cfg.Analyzer, cfg.Testgen, kernelNames(cfg.Kernels))
-		if pr, ok := cfg.Cache.Get(key); ok {
-			pr.Cached = true
-			pr.ElapsedMS = msSince(start)
-			return *pr, nil
+		tgKey = TestgenKey(a.Name, b.Name, cfg.Analyzer, cfg.Testgen)
+		tests, haveTests = cfg.Cache.GetTests(tgKey)
+	}
+	if !haveTests {
+		pr := analyzer.AnalyzePair(a, b, cfg.Analyzer)
+		tests = testgen.Generate(pr, cfg.Testgen)
+		if cfg.Cache != nil {
+			if err := cfg.Cache.PutTests(tgKey, tests); err != nil {
+				cacheWriteErrs.Add(1)
+			}
 		}
 	}
+	out.Tests = len(tests)
 
-	pr := analyzer.AnalyzePair(a, b, cfg.Analyzer)
-	tests := testgen.Generate(pr, cfg.Testgen)
-	out := PairResult{OpA: pr.OpA, OpB: pr.OpB, Tests: len(tests)}
+	cached := haveTests
 	for _, ks := range cfg.Kernels {
-		total, conflicts, err := CheckTests(ks.New, tests)
-		if err != nil {
-			return out, fmt.Errorf("sweep %s on %s: %w", out.Pair(), ks.Name, err)
+		var (
+			cell  KernelCell
+			ckKey string
+			hit   bool
+		)
+		if cfg.Cache != nil {
+			ckKey = CheckKey(tgKey, ks.Name)
+			if cl, ok := cfg.Cache.GetCell(ckKey); ok {
+				cell, hit = *cl, true
+			}
 		}
-		out.Cells = append(out.Cells, KernelCell{Kernel: ks.Name, Total: total, Conflicts: conflicts})
+		if !hit {
+			cached = false
+			total, conflicts, err := CheckTests(ks.New, tests)
+			if err != nil {
+				return out, fmt.Errorf("sweep %s on %s: %w", out.Pair(), ks.Name, err)
+			}
+			cell = KernelCell{Kernel: ks.Name, Total: total, Conflicts: conflicts}
+			if cfg.Cache != nil {
+				if err := cfg.Cache.PutCell(ckKey, cell); err != nil {
+					cacheWriteErrs.Add(1)
+				}
+			}
+		}
+		out.Cells = append(out.Cells, cell)
 	}
+	out.Cached = cached
 	out.ElapsedMS = msSince(start)
-
-	if cfg.Cache != nil {
-		// Best-effort, mirroring the read side's degradation contract: a
-		// failed store costs this pair its incrementality, not the sweep.
-		if err := cfg.Cache.Put(key, out); err != nil {
-			cacheWriteErrs.Add(1)
-		}
-	}
 	return out, nil
 }
 
@@ -284,14 +313,6 @@ func CheckTests(fresh func() kernel.Kernel, tests []kernel.TestCase) (total, con
 		}
 	}
 	return total, conflicts, nil
-}
-
-func kernelNames(specs []KernelSpec) []string {
-	names := make([]string, len(specs))
-	for i, ks := range specs {
-		names[i] = ks.Name
-	}
-	return names
 }
 
 func msSince(t time.Time) float64 {

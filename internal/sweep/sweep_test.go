@@ -129,8 +129,9 @@ func TestSweepWarmCache(t *testing.T) {
 	if len(cold.Pairs) != wantPairs {
 		t.Fatalf("got %d pairs, want %d", len(cold.Pairs), wantPairs)
 	}
-	if cold.CacheHits != 0 || cold.CacheMisses != wantPairs {
-		t.Errorf("cold run: hits=%d misses=%d, want 0/%d", cold.CacheHits, cold.CacheMisses, wantPairs)
+	wantCold := CacheStats{TestgenMisses: wantPairs, CheckMisses: wantPairs * len(kernels)}
+	if cold.Cache != wantCold {
+		t.Errorf("cold run: stats %+v, want %+v", cold.Cache, wantCold)
 	}
 	for _, p := range cold.Pairs {
 		if p.Cached {
@@ -142,8 +143,9 @@ func TestSweepWarmCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if warm.CacheHits != wantPairs || warm.CacheMisses != 0 {
-		t.Errorf("warm run: hits=%d misses=%d, want %d/0", warm.CacheHits, warm.CacheMisses, wantPairs)
+	wantWarm := CacheStats{TestgenHits: wantPairs, CheckHits: wantPairs * len(kernels)}
+	if warm.Cache != wantWarm {
+		t.Errorf("warm run: stats %+v, want %+v", warm.Cache, wantWarm)
 	}
 	for _, p := range warm.Pairs {
 		if !p.Cached {
@@ -152,6 +154,101 @@ func TestSweepWarmCache(t *testing.T) {
 	}
 	if got, want := stripTiming(warm.Pairs), stripTiming(cold.Pairs); !reflect.DeepEqual(got, want) {
 		t.Errorf("warm results diverge from cold results\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestSweepKernelSubsetWarm pins the tentpole scenario the two-tier cache
+// exists for: after a both-kernel sweep, a one-kernel sweep of the same
+// ops against the same cache performs zero analyzer/testgen invocations
+// (no TESTGEN misses) and zero kernel checks (no CHECK misses) — both
+// tiers serve, and every pair reports Cached.
+func TestSweepKernelSubsetWarm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep pipeline in -short mode")
+	}
+	ops, kernels := testOps(t), testKernels()
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Run(Config{Ops: ops, Kernels: kernels, Workers: 4, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPairs := len(ops) * (len(ops) + 1) / 2
+
+	for _, ks := range kernels {
+		sub, err := Run(Config{Ops: ops, Kernels: []KernelSpec{ks}, Workers: 4, Cache: cache})
+		if err != nil {
+			t.Fatalf("%s subset: %v", ks.Name, err)
+		}
+		want := CacheStats{TestgenHits: wantPairs, CheckHits: wantPairs}
+		if sub.Cache != want {
+			t.Errorf("%s subset: stats %+v, want %+v (a miss means work was recomputed)", ks.Name, sub.Cache, want)
+		}
+		for i, p := range sub.Pairs {
+			if !p.Cached {
+				t.Errorf("%s subset: pair %s was recomputed", ks.Name, p.Pair())
+			}
+			// The subset's single cell must be exactly the full sweep's
+			// cell for this kernel.
+			fp := full.Pairs[i]
+			if p.OpA != fp.OpA || p.OpB != fp.OpB || p.Tests != fp.Tests {
+				t.Fatalf("%s subset: pair %d is %s, full sweep has %s", ks.Name, i, p.Pair(), fp.Pair())
+			}
+			var wantCell *KernelCell
+			for j := range fp.Cells {
+				if fp.Cells[j].Kernel == ks.Name {
+					wantCell = &fp.Cells[j]
+				}
+			}
+			if wantCell == nil || len(p.Cells) != 1 || p.Cells[0] != *wantCell {
+				t.Errorf("%s subset: pair %s cells %+v, want [%+v]", ks.Name, p.Pair(), p.Cells, wantCell)
+			}
+		}
+	}
+}
+
+// TestSweepNewKernelReusesTests pins the other half of the tier split:
+// sweeping a kernel the cache has never seen hits the TESTGEN tier for
+// every pair (no symbolic work reruns) but misses CHECK, which reruns
+// against the cached tests and produces the same cells as a cache-free
+// sweep.
+func TestSweepNewKernelReusesTests(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep pipeline in -short mode")
+	}
+	ops, kernels := testOps(t), testKernels()
+	linuxOnly, sv6Only := kernels[:1], kernels[1:]
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(Config{Ops: ops, Kernels: linuxOnly, Workers: 4, Cache: cache}); err != nil {
+		t.Fatal(err)
+	}
+	wantPairs := len(ops) * (len(ops) + 1) / 2
+
+	added, err := Run(Config{Ops: ops, Kernels: sv6Only, Workers: 4, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := CacheStats{TestgenHits: wantPairs, CheckMisses: wantPairs}
+	if added.Cache != want {
+		t.Errorf("new-kernel run: stats %+v, want %+v", added.Cache, want)
+	}
+	for _, p := range added.Pairs {
+		if p.Cached {
+			t.Errorf("new-kernel run: pair %s claims to be fully cached", p.Pair())
+		}
+	}
+
+	reference, err := Run(Config{Ops: ops, Kernels: sv6Only, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := stripTiming(added.Pairs), stripTiming(reference.Pairs); !reflect.DeepEqual(got, want) {
+		t.Errorf("cells checked against cached tests diverge from a cache-free sweep\ngot  %+v\nwant %+v", got, want)
 	}
 }
 
