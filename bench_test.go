@@ -44,9 +44,9 @@ func fsOps() []*model.OpDef {
 	return out
 }
 
-var testsCache map[[2]string][]kernel.TestCase
+var testsCache map[[2]string]eval.PairTests
 
-func generatedTests(b *testing.B) map[[2]string][]kernel.TestCase {
+func generatedTests(b *testing.B) map[[2]string]eval.PairTests {
 	b.Helper()
 	if testsCache == nil {
 		testsCache = eval.GenerateAllTests(fsOps(),
@@ -89,7 +89,7 @@ func BenchmarkTestGeneration(b *testing.B) {
 			analyzer.Options{}, testgen.Options{MaxTestsPerPath: 4}, nil)
 		total = 0
 		for _, ts := range tests {
-			total += len(ts)
+			total += len(ts.Tests)
 		}
 	}
 	b.ReportMetric(float64(total), "tests")

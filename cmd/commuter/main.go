@@ -136,6 +136,9 @@ func cmdAnalyze(args []string) {
 			if p.CanDiverge {
 				tag += " diverges"
 			}
+			if p.Unknown {
+				tag += " unknown(solver budget)"
+			}
 			fmt.Printf("path %d:%s\n  condition: %v\n", i, tag, p.CommuteCond)
 		}
 	}
@@ -151,8 +154,11 @@ func cmdTestgen(args []string) {
 
 	a, b := parsePair(*pair)
 	r := analyzer.AnalyzePair(a, b, analyzer.Options{Config: model.Config{LowestFD: *lowest}})
-	tests := testgen.Generate(r, testgen.Options{MaxTestsPerPath: *perPath, LowestFD: *lowest})
+	tests, truncated := testgen.GenerateChecked(r, testgen.Options{MaxTestsPerPath: *perPath, LowestFD: *lowest})
 	fmt.Printf("%d test cases for %s x %s\n", len(tests), r.OpA, r.OpB)
+	if n := r.Unknown() + truncated; n > 0 {
+		fmt.Fprintf(os.Stderr, "commuter: warning: %d path(s) hit the solver budget; the test set is a lower bound\n", n)
+	}
 	for _, tc := range tests {
 		printTest(tc)
 		if *check {
@@ -235,7 +241,7 @@ func cmdMatrix(args []string) {
 		})
 	total := 0
 	for _, ts := range tests {
-		total += len(ts)
+		total += len(ts.Tests)
 	}
 	fmt.Printf("generated %d tests for %d operations in %v\n\n",
 		total, len(universe), time.Since(start).Round(time.Second))

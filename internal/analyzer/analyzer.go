@@ -33,6 +33,12 @@ type PairPath struct {
 	// CanDiverge reports whether PC ∧ ¬Eq is satisfiable: some initial
 	// state and arguments on this path order-distinguish the pair.
 	CanDiverge bool
+	// Unknown reports that classifying this path exhausted the solver's
+	// step budget (or path exploration itself did): a false Commutes or
+	// CanDiverge is then an under-approximation — "not proven", not
+	// "proven not" — and downstream reporting must not present the pair
+	// as definitively non-commutative.
+	Unknown bool
 	// StateA and StateB are the final symbolic states of the two
 	// permutations (op0;op1 and op1;op0); TESTGEN mines their
 	// initial-probe entries to materialize concrete initial states.
@@ -49,6 +55,11 @@ type PairResult struct {
 	OpA, OpB string
 	// Paths holds every feasible joint path.
 	Paths []PairPath
+	// Budgeted reports that path exploration hit the solver budget
+	// somewhere. When true every path carries Unknown; it is recorded
+	// separately so a truncation harsh enough to leave zero surviving
+	// paths still reads as unknown, not as "no feasible executions".
+	Budgeted bool
 }
 
 // CommutativePaths returns the paths on which the pair can commute.
@@ -85,7 +96,7 @@ func AnalyzePair(opA, opB *model.OpDef, opt Options) PairResult {
 	if solver == nil {
 		solver = &sym.Solver{}
 	}
-	paths := symx.Run(func(c *symx.Context) any {
+	paths, budgeted := symx.RunChecked(func(c *symx.Context) any {
 		argsA := model.MakeArgs(c, opA, "0")
 		argsB := model.MakeArgs(c, opB, "1")
 
@@ -111,16 +122,20 @@ func AnalyzePair(opA, opB *model.OpDef, opt Options) PairResult {
 		}
 	}, symx.Options{MaxPaths: opt.MaxPaths, Solver: solver})
 
-	res := PairResult{OpA: opA.Name, OpB: opB.Name}
+	res := PairResult{OpA: opA.Name, OpB: opB.Name, Budgeted: budgeted}
 	for _, p := range paths {
 		d := p.Result.(pathData)
 		cc := sym.And(p.PC, d.eq)
+		chk := newChecker(solver, p.Witness, p.PC)
+		commutes, cu := chk.sat(d.eq)
+		diverges, du := chk.divergeSat(d.eq)
 		pp := PairPath{
 			PC:          p.PC,
 			Eq:          d.eq,
 			CommuteCond: cc,
-			Commutes:    satAssuming(solver, p.Witness, p.PC, d.eq),
-			CanDiverge:  divergeSat(solver, p.Witness, p.PC, d.eq),
+			Commutes:    commutes,
+			CanDiverge:  diverges,
+			Unknown:     p.Budgeted || cu || du,
 			StateA:      d.stateA,
 			StateB:      d.stateB,
 			RetsA:       d.retsA,
@@ -132,30 +147,73 @@ func AnalyzePair(opA, opB *model.OpDef, opt Options) PairResult {
 	return res
 }
 
-// satAssuming checks satisfiability of pc ∧ extra (pc known satisfiable),
-// trying the path witness on the full formula first, then a cone-of-
-// influence search.
-func satAssuming(solver *sym.Solver, w sym.Model, pc, extra *sym.Expr) bool {
+// checker classifies one path's satisfiability questions against a fixed
+// path condition. The witness verdict on the path condition is computed
+// once per path — every per-conjunct question then only evaluates its own
+// conjunct under the witness before falling back to a cone-of-influence
+// solver search.
+type checker struct {
+	solver  *sym.Solver
+	w       sym.Model
+	pc      *sym.Expr
+	pcConjs []*sym.Expr
+	pcSet   map[*sym.Expr]struct{} // pointer-identity set of pc conjuncts
+	pcTrue  bool                   // w decides pc true
+}
+
+func newChecker(solver *sym.Solver, w sym.Model, pc *sym.Expr) *checker {
+	c := &checker{solver: solver, w: w, pc: pc, pcConjs: sym.Conjuncts(pc)}
+	c.pcSet = make(map[*sym.Expr]struct{}, len(c.pcConjs))
+	for _, cj := range c.pcConjs {
+		c.pcSet[cj] = struct{}{}
+	}
 	if w != nil {
-		if v, ok := w.TryEval(sym.And(pc, extra)); ok && v.Bool {
-			return true
+		if v, ok := w.TryEval(pc); ok && v.Bool {
+			c.pcTrue = true
 		}
 	}
-	_, ok := solver.SatAssuming(pc, extra)
-	return ok
+	return c
+}
+
+// sat checks satisfiability of pc ∧ extra (pc known satisfiable). unknown
+// reports that an unsatisfiable answer came from a budget-truncated
+// search and is therefore not a proof. Hash-consing gives two syntactic
+// short-circuits before any search: extra already among pc's conjuncts
+// (satisfiable by the pc invariant) and extra the negation of one
+// (unsatisfiable outright).
+func (c *checker) sat(extra *sym.Expr) (sat, unknown bool) {
+	if _, ok := c.pcSet[extra]; ok {
+		return true, false
+	}
+	// sym.Not canonicalizes (double negation folds), so this single
+	// lookup finds the pc conjunct refuting extra at either polarity.
+	if _, ok := c.pcSet[sym.Not(extra)]; ok {
+		return false, false
+	}
+	if c.pcTrue {
+		if v, ok := c.w.TryEval(extra); ok && v.Bool {
+			return true, false
+		}
+	}
+	if _, ok := c.solver.SatAssumingConjs(c.pcConjs, extra); ok {
+		return true, false
+	}
+	return false, c.solver.Budget()
 }
 
 // divergeSat checks whether pc ∧ ¬eq is satisfiable. eq is a conjunction,
 // and ¬(c1 ∧ … ∧ cn) is satisfiable with pc iff some pc ∧ ¬ci is, so the
 // check decomposes into small per-conjunct problems whose cones of
 // influence stay narrow.
-func divergeSat(solver *sym.Solver, w sym.Model, pc, eq *sym.Expr) bool {
-	for _, c := range sym.Conjuncts(eq) {
-		if satAssuming(solver, w, pc, sym.Not(c)) {
-			return true
+func (c *checker) divergeSat(eq *sym.Expr) (sat, unknown bool) {
+	for _, conj := range sym.Conjuncts(eq) {
+		s, u := c.sat(sym.Not(conj))
+		if s {
+			return true, false
 		}
+		unknown = unknown || u
 	}
-	return false
+	return false, unknown
 }
 
 // AnalyzeAll analyzes every unordered pair drawn from ops (including
@@ -174,7 +232,26 @@ func AnalyzeAll(ops []*model.OpDef, opt Options, report func(PairResult)) []Pair
 	return out
 }
 
-// Summary describes a pair's commutativity in one line.
+// Unknown counts the paths whose classification hit the solver budget.
+// A budget-truncated exploration that left no surviving paths counts as
+// one unknown, so the pair can never silently read as "no feasible
+// executions".
+func (r *PairResult) Unknown() int {
+	n := 0
+	for _, p := range r.Paths {
+		if p.Unknown {
+			n++
+		}
+	}
+	if n == 0 && r.Budgeted {
+		return 1
+	}
+	return n
+}
+
+// Summary describes a pair's commutativity in one line. Budget-truncated
+// classifications are called out so an under-approximated pair is never
+// read as "never commutes".
 func (r *PairResult) Summary() string {
 	nc, nd := 0, 0
 	for _, p := range r.Paths {
@@ -185,6 +262,10 @@ func (r *PairResult) Summary() string {
 			nd++
 		}
 	}
-	return fmt.Sprintf("%s x %s: %d paths, %d commutative, %d order-dependent",
+	s := fmt.Sprintf("%s x %s: %d paths, %d commutative, %d order-dependent",
 		r.OpA, r.OpB, len(r.Paths), nc, nd)
+	if nu := r.Unknown(); nu > 0 {
+		s += fmt.Sprintf(", %d unknown (solver budget exhausted)", nu)
+	}
+	return s
 }

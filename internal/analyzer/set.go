@@ -22,6 +22,8 @@ type SetPath struct {
 	// Commutes and CanDiverge classify the path as for pairs.
 	Commutes   bool
 	CanDiverge bool
+	// Unknown marks a budget-truncated classification, as for pairs.
+	Unknown bool
 	// VarKinds classifies the path's variables.
 	VarKinds map[string]symx.VarKind
 }
@@ -30,6 +32,10 @@ type SetPath struct {
 type SetResult struct {
 	Ops   []string
 	Paths []SetPath
+	// Budgeted mirrors PairResult.Budgeted: exploration hit the solver
+	// budget, so even an empty Paths list means unknown rather than "no
+	// feasible executions".
+	Budgeted bool
 }
 
 // CommutativePaths returns the paths on which the set can commute.
@@ -145,7 +151,7 @@ func AnalyzeSet(ops []*model.OpDef, opt Options) SetResult {
 		subPermGroups = append(subPermGroups, group)
 	}
 
-	paths := symx.Run(func(c *symx.Context) any {
+	paths, budgeted := symx.RunChecked(func(c *symx.Context) any {
 		args := make([][]*sym.Expr, len(ops))
 		for i, op := range ops {
 			args[i] = model.MakeArgs(c, op, fmt.Sprint(i))
@@ -185,19 +191,23 @@ func AnalyzeSet(ops []*model.OpDef, opt Options) SetResult {
 		return setData{eq: sym.And(conj...)}
 	}, symx.Options{MaxPaths: maxPaths, Solver: solver})
 
-	res := SetResult{}
+	res := SetResult{Budgeted: budgeted}
 	for _, op := range ops {
 		res.Ops = append(res.Ops, op.Name)
 	}
 	for _, p := range paths {
 		d := p.Result.(setData)
 		cc := sym.And(p.PC, d.eq)
+		chk := newChecker(solver, p.Witness, p.PC)
+		commutes, cu := chk.sat(d.eq)
+		diverges, du := chk.divergeSat(d.eq)
 		res.Paths = append(res.Paths, SetPath{
 			PC:          p.PC,
 			Eq:          d.eq,
 			CommuteCond: cc,
-			Commutes:    satAssuming(solver, p.Witness, p.PC, d.eq),
-			CanDiverge:  divergeSat(solver, p.Witness, p.PC, d.eq),
+			Commutes:    commutes,
+			CanDiverge:  diverges,
+			Unknown:     p.Budgeted || cu || du,
 			VarKinds:    p.VarKinds,
 		})
 	}

@@ -1,0 +1,99 @@
+package analyzer
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/sym"
+)
+
+// TestCheckerBudgetUnknown pins the solver-budget soundness fix at the
+// classification seam: an unsatisfiable answer from a budget-truncated
+// search must come back unknown=true, while real verdicts (sat, or unsat
+// with budget to spare) stay unknown=false.
+func TestCheckerBudgetUnknown(t *testing.T) {
+	x, y := sym.Var("ckx", sym.IntSort), sym.Var("cky", sym.IntSort)
+	unsat := sym.And(sym.Lt(x, y), sym.Lt(y, x))
+
+	// Plenty of budget: a real refutation, not unknown.
+	chk := newChecker(&sym.Solver{}, nil, sym.True)
+	sat, unknown := chk.sat(unsat)
+	if sat || unknown {
+		t.Errorf("full budget: sat=%v unknown=%v, want false/false", sat, unknown)
+	}
+
+	// One step: the search is truncated before it can prove anything, so
+	// the unsat answer must be flagged unknown.
+	chk = newChecker(&sym.Solver{MaxSteps: 1}, nil, sym.True)
+	sat, unknown = chk.sat(unsat)
+	if sat {
+		t.Fatal("one-step budget found a model of an unsatisfiable formula")
+	}
+	if !unknown {
+		t.Error("budget-truncated unsat answer not reported as unknown")
+	}
+
+	// Satisfiable queries that fit the budget are definitive.
+	chk = newChecker(&sym.Solver{}, nil, sym.True)
+	sat, unknown = chk.sat(sym.Lt(x, y))
+	if !sat || unknown {
+		t.Errorf("satisfiable query: sat=%v unknown=%v, want true/false", sat, unknown)
+	}
+}
+
+// TestCheckerSyntacticShortCircuits pins the hash-consing fast paths: a
+// pc conjunct is satisfiable with pc, its negation is not, and neither
+// answer needs (or spends) any solver budget.
+func TestCheckerSyntacticShortCircuits(t *testing.T) {
+	x, y := sym.Var("scx", sym.IntSort), sym.Var("scy", sym.IntSort)
+	conj := sym.Lt(x, y)
+	pc := sym.And(conj, sym.Ge(x, sym.Int(0)))
+	// MaxSteps 1 would flag any real search as unknown, so unknown=false
+	// proves the answers came from the syntactic short-circuits.
+	chk := newChecker(&sym.Solver{MaxSteps: 1}, nil, pc)
+	if sat, unknown := chk.sat(conj); !sat || unknown {
+		t.Errorf("pc conjunct: sat=%v unknown=%v, want true/false", sat, unknown)
+	}
+	if sat, unknown := chk.sat(sym.Not(conj)); sat || unknown {
+		t.Errorf("negated pc conjunct: sat=%v unknown=%v, want false/false", sat, unknown)
+	}
+}
+
+// TestFullyTruncatedPairIsUnknown pins the harshest budget case: when
+// exploration is truncated so hard that no path survives, the pair must
+// still report unknown — an empty path list with a clean Unknown()==0
+// would read as "no feasible executions", the exact silent
+// under-approximation the budget plumbing exists to prevent.
+func TestFullyTruncatedPairIsUnknown(t *testing.T) {
+	op := model.OpByName("stat")
+	r := AnalyzePair(op, op, Options{Solver: &sym.Solver{MaxSteps: 1}})
+	if len(r.Paths) != 0 {
+		t.Skipf("one-step budget still explored %d paths; test needs a harsher setup", len(r.Paths))
+	}
+	if !r.Budgeted {
+		t.Fatal("fully truncated exploration did not set Budgeted")
+	}
+	if r.Unknown() != 1 {
+		t.Errorf("Unknown() = %d, want 1 for a fully truncated pair", r.Unknown())
+	}
+	if s := r.Summary(); !strings.Contains(s, "unknown") {
+		t.Errorf("summary hides the truncation: %q", s)
+	}
+}
+
+// TestSummaryReportsUnknown pins the analyze-output surface: a pair with
+// budget-truncated paths says so instead of reading as "never commutes".
+func TestSummaryReportsUnknown(t *testing.T) {
+	r := PairResult{OpA: "a", OpB: "b", Paths: []PairPath{{Unknown: true}, {Commutes: true}}}
+	if r.Unknown() != 1 {
+		t.Fatalf("Unknown() = %d, want 1", r.Unknown())
+	}
+	if s := r.Summary(); !strings.Contains(s, "1 unknown (solver budget exhausted)") {
+		t.Errorf("summary does not surface the budget flag: %q", s)
+	}
+	clean := PairResult{OpA: "a", OpB: "b", Paths: []PairPath{{Commutes: true}}}
+	if s := clean.Summary(); strings.Contains(s, "unknown") {
+		t.Errorf("clean summary mentions unknown: %q", s)
+	}
+}

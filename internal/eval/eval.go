@@ -247,6 +247,11 @@ type MatrixCell struct {
 	OpA, OpB  string
 	Total     int
 	Conflicts int
+	// Unknown counts analyzer paths of the pair whose classification hit
+	// the solver budget: the cell's counts are then lower bounds, and
+	// FormatMatrix renders a pair with no tests and a nonzero Unknown as
+	// "?" rather than the "-" that reads as "never commutes".
+	Unknown int
 }
 
 // Matrix is a Figure 6 half-matrix for one kernel.
@@ -275,6 +280,14 @@ func NewKernelFunc(name string) func() kernel.Kernel {
 	panic("eval: unknown kernel " + name)
 }
 
+// PairTests is the ANALYZE → TESTGEN outcome for one pair: the generated
+// tests plus the count of analyzer paths whose classification hit the
+// solver budget (see analyzer.PairPath.Unknown).
+type PairTests struct {
+	Tests   []kernel.TestCase
+	Unknown int
+}
+
 // GenerateAllTests runs ANALYZER + TESTGEN over every pair of the given
 // operations and returns the concrete test cases grouped by pair. The pairs
 // are fanned across the sweep engine's worker pool (per-pair work is
@@ -282,27 +295,27 @@ func NewKernelFunc(name string) func() kernel.Kernel {
 // progress callbacks are serialized but arrive in completion order. A
 // caller-provided Solver in either option struct forces sequential
 // execution, since solvers are not safe to share.
-func GenerateAllTests(ops []*model.OpDef, aOpt analyzer.Options, gOpt testgen.Options, progress func(pair string, n int)) map[[2]string][]kernel.TestCase {
+func GenerateAllTests(ops []*model.OpDef, aOpt analyzer.Options, gOpt testgen.Options, progress func(pair string, n int)) map[[2]string]PairTests {
 	jobs := sweep.Pairs(ops)
 	workers := 0
 	if aOpt.Solver != nil || gOpt.Solver != nil {
 		workers = 1
 	}
 	names := make([][2]string, len(jobs))
-	tests := make([][]kernel.TestCase, len(jobs))
+	tests := make([]PairTests, len(jobs))
 	var mu sync.Mutex
 	sweep.Parallel(len(jobs), workers, func(i int) {
 		pr := analyzer.AnalyzePair(jobs[i][0], jobs[i][1], aOpt)
-		ts := testgen.Generate(pr, gOpt)
+		ts, truncated := testgen.GenerateChecked(pr, gOpt)
 		names[i] = [2]string{pr.OpA, pr.OpB}
-		tests[i] = ts
+		tests[i] = PairTests{Tests: ts, Unknown: pr.Unknown() + truncated}
 		if progress != nil {
 			mu.Lock()
 			progress(pr.OpA+"/"+pr.OpB, len(ts))
 			mu.Unlock()
 		}
 	})
-	out := map[[2]string][]kernel.TestCase{}
+	out := map[[2]string]PairTests{}
 	for i := range jobs {
 		out[names[i]] = tests[i]
 	}
@@ -313,7 +326,7 @@ func GenerateAllTests(ops []*model.OpDef, aOpt analyzer.Options, gOpt testgen.Op
 // checking pairs in parallel on the sweep engine's worker pool. Each check
 // builds fresh kernel instances with their own traced memory, so pairs
 // never share state.
-func CheckMatrix(kernelName string, tests map[[2]string][]kernel.TestCase) (Matrix, error) {
+func CheckMatrix(kernelName string, tests map[[2]string]PairTests) (Matrix, error) {
 	fresh := NewKernelFunc(kernelName)
 	var pairs [][2]string
 	for p := range tests {
@@ -333,13 +346,13 @@ func CheckMatrix(kernelName string, tests map[[2]string][]kernel.TestCase) (Matr
 			return
 		}
 		p := pairs[i]
-		total, conflicts, err := sweep.CheckTests(fresh, tests[p])
+		total, conflicts, err := sweep.CheckTests(fresh, tests[p].Tests)
 		if err != nil {
 			errs[i] = err
 			failed.Store(true)
 			return
 		}
-		cells[i] = MatrixCell{OpA: p[0], OpB: p[1], Total: total, Conflicts: conflicts}
+		cells[i] = MatrixCell{OpA: p[0], OpB: p[1], Total: total, Conflicts: conflicts, Unknown: tests[p].Unknown}
 	})
 	for _, err := range errs {
 		if err != nil {
@@ -383,6 +396,7 @@ func MatricesFromSweep(res *sweep.Result) []Matrix {
 			i := idx[c.Kernel]
 			ms[i].Cells = append(ms[i].Cells, MatrixCell{
 				OpA: p.OpA, OpB: p.OpB, Total: c.Total, Conflicts: c.Conflicts,
+				Unknown: p.Unknown,
 			})
 		}
 	}
@@ -390,7 +404,10 @@ func MatricesFromSweep(res *sweep.Result) []Matrix {
 }
 
 // FormatMatrix renders a Figure 6-style half-matrix: the number of
-// non-conflict-free tests per pair ("." for all-scalable cells).
+// non-conflict-free tests per pair ("." for all-scalable cells). A pair
+// with no tests renders as "-" — unless its analysis hit the solver
+// budget, which renders as "?": such a pair is unclassified, not proven
+// non-commutative, and a footer calls the truncation out.
 func FormatMatrix(m Matrix) string {
 	names := opOrder(m)
 	idx := map[string]int{}
@@ -401,6 +418,7 @@ func FormatMatrix(m Matrix) string {
 	for i := range grid {
 		grid[i] = make([]string, len(names))
 	}
+	unknownPairs := 0
 	for _, c := range m.Cells {
 		i, j := idx[c.OpA], idx[c.OpB]
 		if i < j {
@@ -412,6 +430,12 @@ func FormatMatrix(m Matrix) string {
 		}
 		if c.Total == 0 {
 			s = "-"
+			if c.Unknown > 0 {
+				s = "?"
+			}
+		}
+		if c.Unknown > 0 {
+			unknownPairs++
 		}
 		grid[i][j] = s
 	}
@@ -430,6 +454,9 @@ func FormatMatrix(m Matrix) string {
 		fmt.Fprintf(&b, "%6s", abbrev(names[j]))
 	}
 	b.WriteByte('\n')
+	if unknownPairs > 0 {
+		fmt.Fprintf(&b, "%d pair(s) hit the solver budget: their counts are lower bounds (\"?\" = unclassified)\n", unknownPairs)
+	}
 	return b.String()
 }
 

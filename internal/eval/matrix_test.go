@@ -31,13 +31,13 @@ func TestGenerationCounts(t *testing.T) {
 	tests := GenerateAllTests(fsSubset(), analyzer.Options{}, testgen.Options{MaxTestsPerPath: 4}, nil)
 	total := 0
 	for _, ts := range tests {
-		total += len(ts)
+		total += len(ts.Tests)
 	}
 	if total < 1000 {
 		t.Errorf("expected thousands of generated tests over the fs subset, got %d", total)
 	}
 	for pair, ts := range tests {
-		if len(ts) == 0 && pair != [2]string{"pipe", "pipe"} {
+		if len(ts.Tests) == 0 && pair != [2]string{"pipe", "pipe"} {
 			// Every fs pair has commutative situations (even pipe x pipe:
 			// two pipes never share state).
 			t.Errorf("pair %v generated no tests", pair)

@@ -4,35 +4,32 @@
 package sweep
 
 import (
-	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
-	"strings"
 )
 
 // ReadArtifact parses a JSONL stream previously produced by a sweep's
-// Artifact writer. Blank lines are ignored; a malformed line is an error
-// with its line number.
+// Artifact writer. Values are streamed through a json.Decoder, so a single
+// huge line — a test-heavy pair's result can exceed 1 MiB — parses fine;
+// the previous line-scanner implementation capped lines and failed such
+// artifacts with an opaque "token too long". Blank lines are ignored (the
+// decoder skips whitespace); a malformed value is an error carrying its
+// entry number and byte offset.
 func ReadArtifact(r io.Reader) ([]PairResult, error) {
+	dec := json.NewDecoder(r)
 	var out []PairResult
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" {
-			continue
-		}
+	for {
 		var pr PairResult
-		if err := json.Unmarshal([]byte(text), &pr); err != nil {
-			return nil, fmt.Errorf("sweep: artifact line %d: %w", line, err)
+		err := dec.Decode(&pr)
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("sweep: artifact entry %d (near byte %d): %w",
+				len(out)+1, dec.InputOffset(), err)
 		}
 		out = append(out, pr)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("sweep: artifact read: %w", err)
-	}
-	return out, nil
 }

@@ -1,0 +1,73 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestReadArtifactHugeLine pins the regression the json.Decoder rewrite
+// fixes: a single artifact line larger than bufio.Scanner's old 1 MiB cap
+// (a test-heavy pair like rename,rename can produce one) must round-trip
+// instead of failing with "token too long".
+func TestReadArtifactHugeLine(t *testing.T) {
+	big := PairResult{OpA: "rename", OpB: "rename", Tests: 1}
+	for i := 0; len(big.Cells) < 40000; i++ {
+		big.Cells = append(big.Cells, KernelCell{
+			Kernel: strings.Repeat("k", 20) + string(rune('a'+i%26)), Total: i, Conflicts: i % 3,
+		})
+	}
+	small := PairResult{OpA: "open", OpB: "open", Tests: 2}
+
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, pr := range []PairResult{big, small} {
+		if err := enc.Encode(pr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if buf.Len() < 1<<20 {
+		t.Fatalf("artifact too small to exercise the old 1 MiB cap: %d bytes", buf.Len())
+	}
+
+	got, err := ReadArtifact(&buf)
+	if err != nil {
+		t.Fatalf("ReadArtifact: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d results, want 2", len(got))
+	}
+	if !reflect.DeepEqual(got[0], big) || !reflect.DeepEqual(got[1], small) {
+		t.Error("artifact round-trip mutated results")
+	}
+}
+
+// TestReadArtifactBlankLines pins whitespace tolerance: encoders emit one
+// value per line, and hand-edited or concatenated artifacts may carry
+// blank lines between values.
+func TestReadArtifactBlankLines(t *testing.T) {
+	in := "\n{\"op_a\":\"open\",\"op_b\":\"open\",\"tests\":3,\"elapsed_ms\":0}\n\n" +
+		"{\"op_a\":\"pipe\",\"op_b\":\"pipe\",\"tests\":1,\"elapsed_ms\":0}\n\n\n"
+	got, err := ReadArtifact(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].OpA != "open" || got[1].OpA != "pipe" {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+// TestReadArtifactMalformed pins the error contract: a malformed value
+// reports which entry failed.
+func TestReadArtifactMalformed(t *testing.T) {
+	in := "{\"op_a\":\"open\",\"op_b\":\"open\"}\n{not json}\n"
+	_, err := ReadArtifact(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("malformed artifact accepted")
+	}
+	if !strings.Contains(err.Error(), "entry 2") {
+		t.Errorf("error does not name the failing entry: %v", err)
+	}
+}

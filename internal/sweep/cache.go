@@ -35,16 +35,19 @@ import (
 // CacheVersion stamps every key and entry. Bump it whenever the model,
 // analyzer, testgen or checker semantics change, so stale results from an
 // older code version are recomputed instead of trusted. Version 2
-// introduced the two-tier layout; version-1 single-tier entries are simply
-// never matched again.
-const CacheVersion = 2
+// introduced the two-tier layout; version 3 accompanies the hash-consed
+// symbolic engine (canonicalization changed the shape of generated
+// conditions, and with them the test sets entries store). Older-version
+// entries are simply never matched again.
+const CacheVersion = 3
 
 // TestgenKey derives the content address of the kernel-independent phase:
 // the test cases ANALYZE → TESTGEN produces for one pair. The encoding is
 // an explicit field-by-field string (not struct marshaling) so the key is
 // stable across runs and robust to field reordering; solvers are
-// deliberately excluded because they don't change results, only how
-// they're searched for. Zero-value options are normalized to the defaults
+// deliberately excluded because complete results don't depend on them,
+// and incomplete (budget-truncated) results are never stored (see
+// runPair). Zero-value options are normalized to the defaults
 // the pipeline applies (MaxPaths 4096, MaxTestsPerPath 4), so semantically
 // identical configurations share cache entries.
 func TestgenKey(opA, opB string, aOpt analyzer.Options, gOpt testgen.Options) string {
@@ -164,9 +167,11 @@ func (c *Cache) cellPath(key string) string {
 	return filepath.Join(c.dir, key+".cell.json")
 }
 
-// GetTests returns the TESTGEN tier entry for key. Any defect — missing
-// file, unparsable JSON, version or key mismatch — is a miss: the sweep
-// recomputes and overwrites, never fails.
+// GetTests returns the TESTGEN tier entry for key. Stored entries are
+// complete by construction — budget-truncated results are never written
+// (see runPair) — so a hit always carries a definitive test set. Any
+// defect — missing file, unparsable JSON, version or key mismatch — is a
+// miss: the sweep recomputes and overwrites, never fails.
 func (c *Cache) GetTests(key string) ([]kernel.TestCase, bool) {
 	var e testgenEntry
 	ok := readEntry(c.testsPath(key), &e) && e.Version == CacheVersion && e.Key == key

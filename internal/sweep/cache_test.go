@@ -11,6 +11,7 @@ import (
 	"repro/internal/analyzer"
 	"repro/internal/kernel"
 	"repro/internal/model"
+	"repro/internal/sym"
 	"repro/internal/testgen"
 )
 
@@ -213,6 +214,64 @@ func TestCacheCorruptionRecovery(t *testing.T) {
 	}
 	if _, ok := c.GetCell(ckKey); !ok {
 		t.Error("repaired check entry still misses")
+	}
+}
+
+// TestTruncatedResultsNotCached pins the budget/cache interaction: the
+// cache key excludes the solver, which is only sound if budget-truncated
+// (Unknown > 0) results are never stored — otherwise a tiny-budget sweep
+// would poison both tiers and a full-budget rerun would serve the
+// truncated tests and stale lower-bound cells forever.
+func TestTruncatedResultsNotCached(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep pipeline in -short mode")
+	}
+	dir := t.TempDir()
+	cache, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops, kernels := testOps(t), testKernels()
+	tiny := Config{
+		Ops: ops, Kernels: kernels, Cache: cache,
+		Analyzer: analyzer.Options{Solver: &sym.Solver{MaxSteps: 1}},
+	}
+	res, err := Run(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPairs := len(ops) * (len(ops) + 1) / 2
+	truncated := 0
+	for _, p := range res.Pairs {
+		if p.Unknown > 0 {
+			truncated++
+		}
+	}
+	if truncated == 0 {
+		t.Skip("one-step budget truncated nothing; test needs a harsher setup")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := (wantPairs - truncated) * (1 + len(kernels)); len(entries) != want {
+		t.Errorf("cache holds %d files after truncated sweep, want %d (truncated pairs must not be stored)", len(entries), want)
+	}
+
+	// A full-budget sweep against the same cache must recompute the
+	// truncated pairs (misses, not stale hits) and then report complete
+	// results with no Unknown pairs.
+	full, err := Run(Config{Ops: ops, Kernels: kernels, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Cache.TestgenMisses != truncated {
+		t.Errorf("full-budget rerun: %d testgen misses, want %d (the truncated pairs)", full.Cache.TestgenMisses, truncated)
+	}
+	for _, p := range full.Pairs {
+		if p.Unknown > 0 {
+			t.Errorf("full-budget pair %s still reports Unknown=%d (stale cache entry served?)", p.Pair(), p.Unknown)
+		}
 	}
 }
 

@@ -1,0 +1,104 @@
+package sweep
+
+import (
+	"errors"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/kernel/monokernel"
+)
+
+// errSetup is the injected mid-sweep failure.
+var errSetup = errors.New("injected setup failure")
+
+// flakyKernel delegates to a real kernel but fails Apply once armed.
+type flakyKernel struct {
+	kernel.Kernel
+	fail bool
+}
+
+func (f *flakyKernel) Apply(s kernel.Setup) error {
+	if f.fail {
+		return errSetup
+	}
+	return f.Kernel.Apply(s)
+}
+
+// TestSweepFailFastCleanShutdown pins the engine's error path, best run
+// under -race: a pair that starts failing mid-sweep must fail the whole
+// run with that pair's error, already-finished pairs must keep their
+// serialized, monotone progress events, every worker goroutine must exit
+// before Run returns, and pairs scheduled after the failure are skipped.
+func TestSweepFailFastCleanShutdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep pipeline in -short mode")
+	}
+	ops := testOps(t)
+	const failAfter = 2 // kernel constructions that succeed before failures begin
+	var built atomic.Int64
+	kernels := []KernelSpec{{
+		Name: "flaky",
+		New: func() kernel.Kernel {
+			return &flakyKernel{
+				Kernel: monokernel.New(),
+				fail:   built.Add(1) > failAfter,
+			}
+		},
+	}}
+
+	var (
+		mu     sync.Mutex
+		events []Event
+	)
+	before := runtime.NumGoroutine()
+	res, err := Run(Config{
+		Ops: ops, Kernels: kernels, Workers: 4,
+		Progress: func(ev Event) {
+			mu.Lock()
+			events = append(events, ev)
+			mu.Unlock()
+		},
+	})
+	if err == nil {
+		t.Fatal("sweep with failing pair returned nil error")
+	}
+	if !errors.Is(err, errSetup) {
+		t.Errorf("error lost the cause: %v", err)
+	}
+	if !strings.Contains(err.Error(), "flaky") {
+		t.Errorf("error does not name the kernel: %v", err)
+	}
+	if res != nil {
+		t.Errorf("failed sweep returned a result: %+v", res)
+	}
+
+	// Events for pairs that finished before the failure are intact and
+	// serialized: Done counts 1..k with the shared total.
+	wantPairs := len(ops) * (len(ops) + 1) / 2
+	mu.Lock()
+	for i, ev := range events {
+		if ev.Done != i+1 || ev.Total != wantPairs {
+			t.Errorf("event %d: done=%d total=%d, want %d/%d", i, ev.Done, ev.Total, i+1, wantPairs)
+		}
+	}
+	got := len(events)
+	mu.Unlock()
+	if got >= wantPairs {
+		t.Errorf("all %d pairs reported success despite injected failure", got)
+	}
+
+	// All workers must have exited before Run returned (Parallel waits on
+	// its pool); allow the runtime a moment to retire finished goroutines.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutine leak: %d before sweep, %d after", before, after)
+	}
+}

@@ -91,6 +91,13 @@ type PairResult struct {
 	OpB   string       `json:"op_b"`
 	Tests int          `json:"tests"`
 	Cells []KernelCell `json:"cells,omitempty"`
+	// Unknown counts paths whose work exhausted the solver's step
+	// budget: analyzer paths with truncated classification plus testgen
+	// paths with truncated class enumeration. A nonzero count means the
+	// pair's test set — and hence its matrix cell — is a lower bound,
+	// not a proof of non-commutativity; downstream rendering marks such
+	// pairs instead of presenting them as "never commutes".
+	Unknown int `json:"unknown,omitempty"`
 	// Cached reports that nothing was recomputed for the pair: the tests
 	// came from the TESTGEN tier and every cell from the CHECK tier.
 	Cached bool `json:"cached,omitempty"`
@@ -233,22 +240,33 @@ func runPair(a, b *model.OpDef, cfg Config, cacheWriteErrs *atomic.Int64) (PairR
 	var (
 		tgKey     string
 		tests     []kernel.TestCase
+		unknown   int
 		haveTests bool
 	)
 	if cfg.Cache != nil {
 		tgKey = TestgenKey(a.Name, b.Name, cfg.Analyzer, cfg.Testgen)
+		// A hit is complete by construction (truncated results are never
+		// stored below), so unknown stays 0.
 		tests, haveTests = cfg.Cache.GetTests(tgKey)
 	}
 	if !haveTests {
 		pr := analyzer.AnalyzePair(a, b, cfg.Analyzer)
-		tests = testgen.Generate(pr, cfg.Testgen)
-		if cfg.Cache != nil {
+		var truncated int
+		tests, truncated = testgen.GenerateChecked(pr, cfg.Testgen)
+		unknown = pr.Unknown() + truncated
+		if cfg.Cache != nil && unknown == 0 {
+			// Budget-truncated results are never stored: the cache key
+			// deliberately excludes the solver (so tuning it doesn't
+			// orphan entries), which is only sound if every stored
+			// result is budget-independent — i.e. complete. A truncated
+			// pair recomputes on every sweep until some run affords it.
 			if err := cfg.Cache.PutTests(tgKey, tests); err != nil {
 				cacheWriteErrs.Add(1)
 			}
 		}
 	}
 	out.Tests = len(tests)
+	out.Unknown = unknown
 
 	cached := haveTests
 	for _, ks := range cfg.Kernels {
@@ -270,7 +288,11 @@ func runPair(a, b *model.OpDef, cfg Config, cacheWriteErrs *atomic.Int64) (PairR
 				return out, fmt.Errorf("sweep %s on %s: %w", out.Pair(), ks.Name, err)
 			}
 			cell = KernelCell{Kernel: ks.Name, Total: total, Conflicts: conflicts}
-			if cfg.Cache != nil {
+			// A cell computed from a truncated test set must not be
+			// stored either: CheckKey chains the (budget-independent)
+			// testgen key, so a stale lower-bound cell would shadow the
+			// complete one a full-budget rerun generates.
+			if cfg.Cache != nil && unknown == 0 {
 				if err := cfg.Cache.PutCell(ckKey, cell); err != nil {
 					cacheWriteErrs.Add(1)
 				}

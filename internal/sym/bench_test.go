@@ -1,0 +1,113 @@
+package sym
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The benchmarks below cover the layers the hash-consed engine
+// accelerates: constructing path-condition-shaped formulas (interning),
+// evaluating shared DAGs under a model (memoized partialEval), and the
+// solver's cone-of-influence queries (cached variable lists plus
+// extra-first ordering). Run them with
+//
+//	go test -bench . -benchtime 1x ./internal/sym
+//
+// for a smoke pass, or higher -benchtime for stable numbers.
+
+// pcLike builds a path-condition-shaped conjunction: n key-equality
+// guards and bound constraints over a rolling window of variables, the
+// pattern symbolic execution accumulates.
+func pcLike(n int) *Expr {
+	fn := Uninterpreted("BenchName")
+	pc := True
+	for i := 0; i < n; i++ {
+		k := Var(fmt.Sprintf("bk%d", i), fn)
+		o := Var(fmt.Sprintf("bk%d", (i+3)%n), fn)
+		x := Var(fmt.Sprintf("bx%d", i), IntSort)
+		pc = And(pc,
+			Ne(k, o),
+			Ge(x, Int(0)), Le(x, Int(3)),
+			Or(Eq(k, Const(fn, int64(i%4))), Lt(x, Int(2))))
+	}
+	return pc
+}
+
+// BenchmarkConstructPathCondition measures formula construction: with
+// hash-consing every node build is a table probe, and rebuilt formulas
+// resolve to existing nodes instead of fresh allocations.
+func BenchmarkConstructPathCondition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if pcLike(32).IsFalse() {
+			b.Fatal("unexpected fold")
+		}
+	}
+}
+
+// BenchmarkTryEvalSharedDAG measures witness checks over a deep
+// Ite-chain DAG with heavy subterm sharing — the shape DictsEquivalent
+// produces — where memoized partialEval visits each shared node once.
+func BenchmarkTryEvalSharedDAG(b *testing.B) {
+	fn := Uninterpreted("BenchName")
+	k := Var("dagk", fn)
+	chain := Var("dagv", IntSort)
+	m := Model{"dagk": {Sort: fn, Int: 1}, "dagv": {Sort: IntSort, Int: 0}}
+	for i := 0; i < 64; i++ {
+		guard := Eq(k, Const(fn, int64(i%8)))
+		chain = Ite(guard, Add(chain, Int(1)), chain)
+		m[fmt.Sprintf("dagc%d", i)] = Value{Sort: IntSort, Int: int64(i)}
+	}
+	cond := And(Le(chain, Int(64)), Ge(chain, Int(0)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v, ok := m.TryEval(cond); !ok || !v.Bool {
+			b.Fatal("expected decided-true")
+		}
+	}
+}
+
+// BenchmarkSatAssumingFeasible measures the solver path symbolic
+// execution hits on every branch whose witness goes stale: a
+// cone-of-influence query that finds a model.
+func BenchmarkSatAssumingFeasible(b *testing.B) {
+	pc := pcLike(24)
+	fn := Uninterpreted("BenchName")
+	extra := Eq(Var("bk0", fn), Var("bk5", fn))
+	var s Solver
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.SatAssuming(pc, extra); !ok {
+			b.Fatal("expected satisfiable")
+		}
+	}
+}
+
+// BenchmarkSatAssumingUnsat measures the expensive direction — an
+// unsatisfiability proof — where the extra-first conjunct ordering keeps
+// the contradiction near the top of the search tree.
+func BenchmarkSatAssumingUnsat(b *testing.B) {
+	pc := pcLike(24)
+	x := Var("bx1", IntSort)
+	extra := And(Lt(x, Int(0)), Gt(x, Int(0)))
+	var s Solver
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.SatAssuming(pc, extra); ok {
+			b.Fatal("expected unsatisfiable")
+		}
+	}
+}
+
+// BenchmarkSubstituteSharedDAG measures Substitute with the cached
+// variable-list prune: subtrees not mentioning bound variables return
+// unchanged without a walk.
+func BenchmarkSubstituteSharedDAG(b *testing.B) {
+	pc := pcLike(32)
+	bind := map[string]*Expr{"bx0": Int(1), "bx7": Int(2)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if Substitute(pc, bind) == nil {
+			b.Fatal("nil substitution")
+		}
+	}
+}

@@ -4,6 +4,10 @@
 // constraints in the quantifier-free theory of equality over uninterpreted
 // sorts plus bounded linear integer arithmetic and booleans, for which
 // bounded model search with constraint propagation is complete.
+//
+// Expressions are hash-consed (see intern.go): the constructors intern
+// every node, so structurally equal expressions are pointer-equal and the
+// engine's walks, dedups and memo tables all key on node identity.
 package sym
 
 import (
@@ -11,6 +15,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // SortKind distinguishes the three value sorts the engine supports.
@@ -78,7 +83,9 @@ const (
 )
 
 // Expr is an immutable symbolic expression node. Construct expressions with
-// the package-level constructor functions, which simplify eagerly.
+// the package-level constructor functions, which canonicalize eagerly and
+// hash-cons the result: two structurally equal constructor-built
+// expressions are the same pointer.
 type Expr struct {
 	Op   Op
 	Sort Sort
@@ -91,6 +98,18 @@ type Expr struct {
 	Name  string
 	VarID int
 	Args  []*Expr
+
+	// Interning metadata, set before publication and immutable after
+	// (see intern.go). id is the nonzero interning identity; size is a
+	// capped unfolded-node-count estimate used as a memoization
+	// threshold; vars lists free variables in first-occurrence order.
+	id   uint64
+	size int
+	vars []*Expr
+	// str caches the rendered canonical form; it is written at most a
+	// handful of times with identical content, so racing stores are
+	// harmless and loads never block.
+	str atomic.Pointer[string]
 }
 
 // Variable names are interned process-wide so solver assignments can be
@@ -113,12 +132,12 @@ func internVar(name string) int {
 
 var (
 	// True and False are the boolean constants.
-	True  = &Expr{Op: OpConst, Sort: BoolSort, Bool: true}
-	False = &Expr{Op: OpConst, Sort: BoolSort, Bool: false}
+	True  = intern(OpConst, BoolSort, 0, true, "", nil)
+	False = intern(OpConst, BoolSort, 0, false, "", nil)
 )
 
 // Int returns the integer constant v.
-func Int(v int64) *Expr { return &Expr{Op: OpConst, Sort: IntSort, Int: v} }
+func Int(v int64) *Expr { return intern(OpConst, IntSort, v, false, "", nil) }
 
 // Bool returns the boolean constant v.
 func Bool(v bool) *Expr {
@@ -134,12 +153,13 @@ func Const(s Sort, id int64) *Expr {
 	if s.Kind != KindUnint {
 		panic("sym: Const requires an uninterpreted sort")
 	}
-	return &Expr{Op: OpConst, Sort: s, Int: id}
+	return intern(OpConst, s, id, false, "", nil)
 }
 
-// Var returns a free variable with the given name and sort.
+// Var returns the free variable with the given name and sort; repeated
+// calls return the same node.
 func Var(name string, s Sort) *Expr {
-	return &Expr{Op: OpVar, Sort: s, Name: name, VarID: internVar(name)}
+	return intern(OpVar, s, 0, false, name, nil)
 }
 
 // IsConst reports whether e is a literal constant.
@@ -159,10 +179,15 @@ func sameConst(a, b *Expr) bool {
 	return a.Int == b.Int
 }
 
-// structEq reports syntactic equality of two expressions.
+// structEq reports syntactic equality of two expressions. For interned
+// nodes (everything the constructors return) this is a pointer compare;
+// the deep walk only runs when a hand-built literal is involved.
 func structEq(a, b *Expr) bool {
 	if a == b {
 		return true
+	}
+	if a.id != 0 && b.id != 0 {
+		return false // interned and distinct: structurally different
 	}
 	if a.Op != b.Op || a.Sort != b.Sort || len(a.Args) != len(b.Args) {
 		return false
@@ -194,10 +219,13 @@ func Not(a *Expr) *Expr {
 	case a.Op == OpNot:
 		return a.Args[0]
 	}
-	return &Expr{Op: OpNot, Sort: BoolSort, Args: []*Expr{a}}
+	return intern(OpNot, BoolSort, 0, false, "", []*Expr{a})
 }
 
-// And returns the conjunction of args, flattened and simplified.
+// And returns the conjunction of args, flattened, deduplicated and
+// simplified. Argument order is preserved (first occurrence wins): the
+// solver's variable-ordering heuristic depends on conjuncts appearing in
+// the chronological order path conditions accumulated them.
 func And(args ...*Expr) *Expr {
 	var flat []*Expr
 	for _, a := range args {
@@ -222,10 +250,11 @@ func And(args ...*Expr) *Expr {
 	case 1:
 		return flat[0]
 	}
-	return &Expr{Op: OpAnd, Sort: BoolSort, Args: flat}
+	return intern(OpAnd, BoolSort, 0, false, "", flat)
 }
 
-// Or returns the disjunction of args, flattened and simplified.
+// Or returns the disjunction of args, flattened, deduplicated and
+// simplified, preserving first-occurrence order like And.
 func Or(args ...*Expr) *Expr {
 	var flat []*Expr
 	for _, a := range args {
@@ -250,19 +279,47 @@ func Or(args ...*Expr) *Expr {
 	case 1:
 		return flat[0]
 	}
-	return &Expr{Op: OpOr, Sort: BoolSort, Args: flat}
+	return intern(OpOr, BoolSort, 0, false, "", flat)
 }
 
+// dedup removes duplicate conjuncts/disjuncts, keeping first occurrences.
+// Interned nodes compare by pointer; a hash set takes over past the sizes
+// where a linear scan is cheaper.
 func dedup(args []*Expr) []*Expr {
-	var out []*Expr
-outer:
+	if len(args) <= 16 {
+		var out []*Expr
+	outer:
+		for _, a := range args {
+			for _, b := range out {
+				if structEq(a, b) {
+					continue outer
+				}
+			}
+			out = append(out, a)
+		}
+		return out
+	}
+	out := make([]*Expr, 0, len(args))
+	seen := make(map[*Expr]struct{}, len(args))
 	for _, a := range args {
+		if a.id != 0 {
+			if _, ok := seen[a]; ok {
+				continue
+			}
+			seen[a] = struct{}{}
+			out = append(out, a)
+			continue
+		}
+		dup := false
 		for _, b := range out {
 			if structEq(a, b) {
-				continue outer
+				dup = true
+				break
 			}
 		}
-		out = append(out, a)
+		if !dup {
+			out = append(out, a)
+		}
 	}
 	return out
 }
@@ -297,7 +354,7 @@ func Eq(a, b *Expr) *Expr {
 	if exprKey(b) < exprKey(a) {
 		a, b = b, a
 	}
-	return &Expr{Op: OpEq, Sort: BoolSort, Args: []*Expr{a, b}}
+	return intern(OpEq, BoolSort, 0, false, "", []*Expr{a, b})
 }
 
 // Ne returns a != b.
@@ -312,7 +369,7 @@ func Lt(a, b *Expr) *Expr {
 	if structEq(a, b) {
 		return False
 	}
-	return &Expr{Op: OpLt, Sort: BoolSort, Args: []*Expr{a, b}}
+	return intern(OpLt, BoolSort, 0, false, "", []*Expr{a, b})
 }
 
 // Le returns the integer comparison a <= b.
@@ -324,7 +381,7 @@ func Le(a, b *Expr) *Expr {
 	if structEq(a, b) {
 		return True
 	}
-	return &Expr{Op: OpLe, Sort: BoolSort, Args: []*Expr{a, b}}
+	return intern(OpLe, BoolSort, 0, false, "", []*Expr{a, b})
 }
 
 // Gt and Ge are the flipped comparisons.
@@ -351,7 +408,7 @@ func Add(a, b *Expr) *Expr {
 	if b.IsConst() && b.Int == 0 {
 		return a
 	}
-	return &Expr{Op: OpAdd, Sort: IntSort, Args: []*Expr{a, b}}
+	return intern(OpAdd, IntSort, 0, false, "", []*Expr{a, b})
 }
 
 // Sub returns a - b.
@@ -366,7 +423,7 @@ func Sub(a, b *Expr) *Expr {
 	if structEq(a, b) {
 		return Int(0)
 	}
-	return &Expr{Op: OpSub, Sort: IntSort, Args: []*Expr{a, b}}
+	return intern(OpSub, IntSort, 0, false, "", []*Expr{a, b})
 }
 
 // Mul returns a * b.
@@ -386,7 +443,7 @@ func Mul(a, b *Expr) *Expr {
 			return a
 		}
 	}
-	return &Expr{Op: OpMul, Sort: IntSort, Args: []*Expr{a, b}}
+	return intern(OpMul, IntSort, 0, false, "", []*Expr{a, b})
 }
 
 // Ite returns if cond then a else b; a and b must share a sort.
@@ -410,43 +467,43 @@ func Ite(cond, a, b *Expr) *Expr {
 		// propagation sees through it.
 		return Or(And(cond, a), And(Not(cond), b))
 	}
-	return &Expr{Op: OpIte, Sort: a.Sort, Args: []*Expr{cond, a, b}}
+	return intern(OpIte, a.Sort, 0, false, "", []*Expr{cond, a, b})
 }
 
 // Vars returns the free variables of e, sorted by name.
 func Vars(e *Expr) []*Expr {
-	seen := map[string]*Expr{}
-	collectVars(e, seen)
-	names := make([]string, 0, len(seen))
-	for n := range seen {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	out := make([]*Expr, len(names))
-	for i, n := range names {
-		out[i] = seen[n]
-	}
+	vs := varsOf(e)
+	out := append([]*Expr(nil), vs...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 
-func collectVars(e *Expr, seen map[string]*Expr) {
-	if e.Op == OpVar {
-		seen[e.Name] = e
-		return
-	}
-	for _, a := range e.Args {
-		collectVars(a, seen)
-	}
-}
-
-// String renders the expression in a Lisp-like prefix form.
+// String renders the expression in a Lisp-like prefix form. The rendering
+// of interned nodes is cached, so ordering keys and content-derived tags
+// amortize across repeated calls.
 func (e *Expr) String() string {
+	if e.id != 0 {
+		if s := e.str.Load(); s != nil {
+			return *s
+		}
+		var b strings.Builder
+		e.render(&b)
+		s := b.String()
+		e.str.Store(&s)
+		return s
+	}
 	var b strings.Builder
-	e.write(&b)
+	e.render(&b)
 	return b.String()
 }
 
-func (e *Expr) write(b *strings.Builder) {
+func (e *Expr) render(b *strings.Builder) {
+	if e.id != 0 {
+		if s := e.str.Load(); s != nil {
+			b.WriteString(*s)
+			return
+		}
+	}
 	switch e.Op {
 	case OpConst:
 		switch e.Sort.Kind {
@@ -464,7 +521,7 @@ func (e *Expr) write(b *strings.Builder) {
 		b.WriteString(opName(e.Op))
 		for _, a := range e.Args {
 			b.WriteByte(' ')
-			a.write(b)
+			a.render(b)
 		}
 		b.WriteByte(')')
 	}

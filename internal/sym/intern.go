@@ -1,0 +1,273 @@
+package sym
+
+import (
+	"sync"
+	"sync/atomic"
+	"weak"
+)
+
+// This file implements hash-consing for expressions: every node built by
+// the package constructors is interned, so structurally equal live
+// expressions are pointer-equal and expression "trees" are really DAGs
+// that share common subterms. Interning is what makes the rest of the
+// engine cheap:
+//
+//   - syntactic equality (structEq, And/Or dedup, Eq canonicalization) is
+//     a pointer comparison instead of a tree walk,
+//   - derived per-node data — the free-variable list, an unfolded size
+//     estimate, the rendered canonical form — is computed once per node
+//     and cached on it, turning repeated O(tree) walks (variable ordering,
+//     cone-of-influence computation, canonical ordering keys) into O(1)
+//     lookups,
+//   - evaluation and substitution memoize on node identity, so shared
+//     subterms are visited once per call instead of once per occurrence.
+//
+// The interner is process-wide and shared by every symx.Context rather
+// than per-context: path conditions for the 171 operation pairs of a cold
+// sweep share most of their structure (the same initial-state invariants
+// and key-equality guards recur in every pair), and a shared table lets
+// concurrent sweep workers reuse each other's nodes while keeping the
+// public constructor API (sym.And, sym.Eq, ...) unchanged. The table is
+// sharded to keep lock contention negligible; nodes are immutable after
+// publication, so readers never lock.
+//
+// Entries are weak references: the pipeline builds unbounded transient
+// formulas (every cone-of-influence query, every path condition of every
+// explored path), and a strong table would pin all of them for the
+// process lifetime, growing the live heap — and with it every GC mark
+// phase — without bound. Weak entries let dead expressions be collected;
+// each shard compacts its dead entries away once they outnumber the
+// insertions since the last sweep. Two structurally equal *live* nodes
+// still cannot coexist: a node is only rebuilt after every strong
+// reference to its predecessor is gone.
+
+// internShardCount is a power of two sizing the lock shards.
+const internShardCount = 64
+
+type internShard struct {
+	mu sync.Mutex
+	m  map[uint64][]weak.Pointer[Expr]
+	// inserts counts insertions since the last full compaction; the
+	// insertion-driven sweep in intern() amortizes dead-entry cleanup so
+	// the table stays proportional to the live expression population.
+	inserts int
+}
+
+// interner is the process-wide hash-consing table.
+type interner struct {
+	shards [internShardCount]internShard
+	nextID atomic.Uint64
+}
+
+func newInterner() *interner {
+	it := &interner{}
+	for i := range it.shards {
+		it.shards[i].m = make(map[uint64][]weak.Pointer[Expr])
+	}
+	return it
+}
+
+var defaultInterner = newInterner()
+
+// maxSize caps the unfolded-size estimate so heavily shared DAGs (whose
+// tree unfolding grows exponentially) cannot overflow it. The cap is far
+// above every memoization threshold, so capping loses nothing.
+const maxSize = 1 << 30
+
+const fnvOffset, fnvPrime = 14695981039346656037, 1099511628211
+
+func hashMix(h, v uint64) uint64 { return (h ^ v) * fnvPrime }
+
+// hashNode computes the structural hash of a prospective node from its
+// components. Children contribute their interning ids, which is sound
+// because children are always interned before their parents and ids are
+// never reused while the child is reachable.
+func hashNode(op Op, sort Sort, i64 int64, b bool, name string, args []*Expr) uint64 {
+	h := uint64(fnvOffset)
+	h = hashMix(h, uint64(op))
+	h = hashMix(h, uint64(sort.Kind))
+	for i := 0; i < len(sort.Name); i++ {
+		h = hashMix(h, uint64(sort.Name[i]))
+	}
+	h = hashMix(h, uint64(i64))
+	if b {
+		h = hashMix(h, 1)
+	}
+	for i := 0; i < len(name); i++ {
+		h = hashMix(h, uint64(name[i]))
+	}
+	h = hashMix(h, uint64(len(args)))
+	for _, a := range args {
+		h = hashMix(h, a.id)
+	}
+	return h
+}
+
+// matches reports whether the interned node e is exactly the node described
+// by the components. Children compare by pointer: they are interned.
+func matches(e *Expr, op Op, sort Sort, i64 int64, b bool, name string, args []*Expr) bool {
+	if e.Op != op || e.Sort != sort || e.Int != i64 || e.Bool != b || e.Name != name || len(e.Args) != len(args) {
+		return false
+	}
+	for i, a := range args {
+		if e.Args[i] != a {
+			return false
+		}
+	}
+	return true
+}
+
+// intern returns the canonical node for the given components, creating and
+// publishing it on first use. args must already be interned and must not be
+// mutated by the caller afterwards.
+func intern(op Op, sort Sort, i64 int64, b bool, name string, args []*Expr) *Expr {
+	it := defaultInterner
+	h := hashNode(op, sort, i64, b, name, args)
+	sh := &it.shards[h&(internShardCount-1)]
+	sh.mu.Lock()
+	bucket := sh.m[h]
+	compact := false
+	for _, wp := range bucket {
+		e := wp.Value()
+		if e == nil {
+			compact = true
+			continue
+		}
+		if matches(e, op, sort, i64, b, name, args) {
+			if compact {
+				sh.m[h] = compactBucket(bucket)
+			}
+			sh.mu.Unlock()
+			return e
+		}
+	}
+	e := &Expr{Op: op, Sort: sort, Int: i64, Bool: b, Name: name, Args: args}
+	if op == OpVar {
+		e.VarID = internVar(name)
+	}
+	e.id = it.nextID.Add(1)
+	e.size = 1
+	for _, a := range args {
+		e.size += a.size
+		if e.size > maxSize {
+			e.size = maxSize
+			break
+		}
+	}
+	e.vars = mergeVars(e, args)
+	if compact {
+		bucket = compactBucket(bucket)
+	}
+	// All fields are set before the node becomes reachable; the shard
+	// mutex publishes it to other goroutines.
+	sh.m[h] = append(bucket, weak.Make(e))
+	sh.inserts++
+	if sh.inserts >= 4096 && sh.inserts >= 2*len(sh.m) {
+		sh.compact()
+	}
+	sh.mu.Unlock()
+	return e
+}
+
+// compactBucket drops cleared entries from one bucket.
+func compactBucket(bucket []weak.Pointer[Expr]) []weak.Pointer[Expr] {
+	out := bucket[:0]
+	for _, wp := range bucket {
+		if wp.Value() != nil {
+			out = append(out, wp)
+		}
+	}
+	return out
+}
+
+// compact sweeps the whole shard, dropping entries whose expressions have
+// been collected. Called with the shard lock held, amortized against the
+// insertions since the previous sweep.
+func (sh *internShard) compact() {
+	for h, bucket := range sh.m {
+		nb := compactBucket(bucket)
+		if len(nb) == 0 {
+			delete(sh.m, h)
+		} else {
+			sh.m[h] = nb
+		}
+	}
+	sh.inserts = 0
+}
+
+// mergeVars computes the free variables of a node in first-occurrence
+// DFS order — identical to walking the unfolded tree left to right and
+// keeping first appearances — by merging the (already ordered) child
+// lists. The result is shared and must never be mutated.
+func mergeVars(e *Expr, args []*Expr) []*Expr {
+	if e.Op == OpVar {
+		return []*Expr{e}
+	}
+	total, nonEmpty := 0, 0
+	var last []*Expr
+	for _, a := range args {
+		if len(a.vars) > 0 {
+			total += len(a.vars)
+			nonEmpty++
+			last = a.vars
+		}
+	}
+	switch nonEmpty {
+	case 0:
+		return nil
+	case 1:
+		return last
+	}
+	out := make([]*Expr, 0, total)
+	if total <= 16 {
+		for _, a := range args {
+		vloop:
+			for _, v := range a.vars {
+				for _, o := range out {
+					if o == v {
+						continue vloop
+					}
+				}
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+	seen := make(map[*Expr]struct{}, total)
+	for _, a := range args {
+		for _, v := range a.vars {
+			if _, ok := seen[v]; ok {
+				continue
+			}
+			seen[v] = struct{}{}
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// varsOf returns e's free variables in first-occurrence order, without
+// copying. Callers must not mutate the result. Non-interned nodes (hand
+// built test literals) fall back to a walk.
+func varsOf(e *Expr) []*Expr {
+	if e.id != 0 {
+		return e.vars
+	}
+	var out []*Expr
+	seen := map[string]bool{}
+	var walk func(x *Expr)
+	walk = func(x *Expr) {
+		if x.Op == OpVar {
+			if !seen[x.Name] {
+				seen[x.Name] = true
+				out = append(out, x)
+			}
+			return
+		}
+		for _, a := range x.Args {
+			walk(a)
+		}
+	}
+	walk(e)
+	return out
+}

@@ -54,12 +54,50 @@ func (m Model) Clone() Model {
 	return out
 }
 
+// Memoization thresholds for partialEval and Substitute. Hash-consed
+// expressions are DAGs: a shared subterm appears once but is reachable
+// along many paths, and a naive recursive walk revisits it once per path.
+// A per-call memo keyed on node identity makes the walk linear in DAG
+// size. Small expressions skip the memo (map traffic would cost more than
+// the recomputation), and leaf-adjacent nodes are never stored.
+const (
+	evalMemoMinSize  = 64 // whole-expression size that turns the memo on
+	evalMemoNodeSize = 16 // smallest node worth a memo entry
+)
+
+type evalResult struct {
+	v  Value
+	ok bool
+}
+
 // partialEval evaluates e as far as the (possibly partial) assignment
 // allows. The second result reports whether the value is determined. Boolean
 // connectives short-circuit so that, e.g., a conjunction with one known-false
 // conjunct is known false even when other conjuncts mention unassigned
 // variables — this drives search-space pruning.
 func partialEval(e *Expr, m Model) (Value, bool) {
+	var memo map[*Expr]evalResult
+	if e.size >= evalMemoMinSize {
+		memo = make(map[*Expr]evalResult)
+	}
+	return peval(e, m, memo)
+}
+
+func peval(e *Expr, m Model, memo map[*Expr]evalResult) (Value, bool) {
+	useMemo := memo != nil && e.size >= evalMemoNodeSize
+	if useMemo {
+		if r, ok := memo[e]; ok {
+			return r.v, r.ok
+		}
+	}
+	v, ok := pevalNode(e, m, memo)
+	if useMemo {
+		memo[e] = evalResult{v, ok}
+	}
+	return v, ok
+}
+
+func pevalNode(e *Expr, m Model, memo map[*Expr]evalResult) (Value, bool) {
 	switch e.Op {
 	case OpConst:
 		return Value{Sort: e.Sort, Int: e.Int, Bool: e.Bool}, true
@@ -67,7 +105,7 @@ func partialEval(e *Expr, m Model) (Value, bool) {
 		v, ok := m[e.Name]
 		return v, ok
 	case OpNot:
-		v, ok := partialEval(e.Args[0], m)
+		v, ok := peval(e.Args[0], m, memo)
 		if !ok {
 			return Value{}, false
 		}
@@ -75,7 +113,7 @@ func partialEval(e *Expr, m Model) (Value, bool) {
 	case OpAnd:
 		all := true
 		for _, a := range e.Args {
-			v, ok := partialEval(a, m)
+			v, ok := peval(a, m, memo)
 			if !ok {
 				all = false
 				continue
@@ -88,7 +126,7 @@ func partialEval(e *Expr, m Model) (Value, bool) {
 	case OpOr:
 		all := true
 		for _, a := range e.Args {
-			v, ok := partialEval(a, m)
+			v, ok := peval(a, m, memo)
 			if !ok {
 				all = false
 				continue
@@ -99,8 +137,8 @@ func partialEval(e *Expr, m Model) (Value, bool) {
 		}
 		return Value{Sort: BoolSort, Bool: false}, all
 	case OpEq:
-		a, aok := partialEval(e.Args[0], m)
-		b, bok := partialEval(e.Args[1], m)
+		a, aok := peval(e.Args[0], m, memo)
+		b, bok := peval(e.Args[1], m, memo)
 		if !aok || !bok {
 			return Value{}, false
 		}
@@ -112,8 +150,8 @@ func partialEval(e *Expr, m Model) (Value, bool) {
 		}
 		return Value{Sort: BoolSort, Bool: eq}, true
 	case OpLt, OpLe:
-		a, aok := partialEval(e.Args[0], m)
-		b, bok := partialEval(e.Args[1], m)
+		a, aok := peval(e.Args[0], m, memo)
+		b, bok := peval(e.Args[1], m, memo)
 		if !aok || !bok {
 			return Value{}, false
 		}
@@ -122,8 +160,8 @@ func partialEval(e *Expr, m Model) (Value, bool) {
 		}
 		return Value{Sort: BoolSort, Bool: a.Int <= b.Int}, true
 	case OpAdd, OpSub, OpMul:
-		a, aok := partialEval(e.Args[0], m)
-		b, bok := partialEval(e.Args[1], m)
+		a, aok := peval(e.Args[0], m, memo)
+		b, bok := peval(e.Args[1], m, memo)
 		if !aok || !bok {
 			return Value{}, false
 		}
@@ -138,20 +176,20 @@ func partialEval(e *Expr, m Model) (Value, bool) {
 		}
 		return Value{Sort: IntSort, Int: r}, true
 	case OpIte:
-		c, cok := partialEval(e.Args[0], m)
+		c, cok := peval(e.Args[0], m, memo)
 		if !cok {
 			// Both branches agreeing would still determine the value.
-			a, aok := partialEval(e.Args[1], m)
-			b, bok := partialEval(e.Args[2], m)
+			a, aok := peval(e.Args[1], m, memo)
+			b, bok := peval(e.Args[2], m, memo)
 			if aok && bok && a.Sort == b.Sort && a.Int == b.Int && a.Bool == b.Bool {
 				return a, true
 			}
 			return Value{}, false
 		}
 		if c.Bool {
-			return partialEval(e.Args[1], m)
+			return peval(e.Args[1], m, memo)
 		}
-		return partialEval(e.Args[2], m)
+		return peval(e.Args[2], m, memo)
 	}
 	panic("sym: unknown op")
 }
@@ -163,124 +201,154 @@ type asn struct {
 	set  []bool
 }
 
-// evalIdx mirrors partialEval over an array-indexed assignment. The two
-// evaluators must stay in sync; evalIdx exists because assignment lookups
-// dominate the solver's profile.
-func evalIdx(e *Expr, a *asn) (Value, bool) {
+// evalBoolIdx and evalIntIdx mirror partialEval over an array-indexed
+// assignment, specialized by result kind so the hot search loop moves
+// (bool, bool) and (int64, bool) pairs instead of fat Value structs. They
+// must stay in sync with partialEval; they exist because assignment
+// lookups dominate the solver's profile, so they stay lean recursions
+// with no memo — solver conjuncts are small after conjunction splitting,
+// and wrapper or map traffic here costs more than subterm re-walks save.
+func evalBoolIdx(e *Expr, a *asn) (res, known bool) {
 	switch e.Op {
 	case OpConst:
-		return Value{Sort: e.Sort, Int: e.Int, Bool: e.Bool}, true
+		return e.Bool, true
 	case OpVar:
 		if e.VarID < len(a.set) && a.set[e.VarID] {
-			return a.vals[e.VarID], true
+			return a.vals[e.VarID].Bool, true
 		}
-		return Value{}, false
+		return false, false
 	case OpNot:
-		v, ok := evalIdx(e.Args[0], a)
-		if !ok {
-			return Value{}, false
-		}
-		return Value{Sort: BoolSort, Bool: !v.Bool}, true
+		v, ok := evalBoolIdx(e.Args[0], a)
+		return !v, ok
 	case OpAnd:
 		all := true
 		for _, x := range e.Args {
-			v, ok := evalIdx(x, a)
+			v, ok := evalBoolIdx(x, a)
 			if !ok {
 				all = false
 				continue
 			}
-			if !v.Bool {
-				return Value{Sort: BoolSort, Bool: false}, true
+			if !v {
+				return false, true
 			}
 		}
-		return Value{Sort: BoolSort, Bool: true}, all
+		return true, all
 	case OpOr:
 		all := true
 		for _, x := range e.Args {
-			v, ok := evalIdx(x, a)
+			v, ok := evalBoolIdx(x, a)
 			if !ok {
 				all = false
 				continue
 			}
-			if v.Bool {
-				return Value{Sort: BoolSort, Bool: true}, true
+			if v {
+				return true, true
 			}
 		}
-		return Value{Sort: BoolSort, Bool: false}, all
+		return false, all
 	case OpEq:
-		x, xok := evalIdx(e.Args[0], a)
-		y, yok := evalIdx(e.Args[1], a)
+		if e.Args[0].Sort.Kind == KindBool {
+			x, xok := evalBoolIdx(e.Args[0], a)
+			y, yok := evalBoolIdx(e.Args[1], a)
+			if !xok || !yok {
+				return false, false
+			}
+			return x == y, true
+		}
+		x, xok := evalIntIdx(e.Args[0], a)
+		y, yok := evalIntIdx(e.Args[1], a)
 		if !xok || !yok {
-			return Value{}, false
+			return false, false
 		}
-		var eq bool
-		if x.Sort.Kind == KindBool {
-			eq = x.Bool == y.Bool
-		} else {
-			eq = x.Int == y.Int
-		}
-		return Value{Sort: BoolSort, Bool: eq}, true
+		return x == y, true
 	case OpLt, OpLe:
-		x, xok := evalIdx(e.Args[0], a)
-		y, yok := evalIdx(e.Args[1], a)
+		x, xok := evalIntIdx(e.Args[0], a)
+		y, yok := evalIntIdx(e.Args[1], a)
 		if !xok || !yok {
-			return Value{}, false
+			return false, false
 		}
 		if e.Op == OpLt {
-			return Value{Sort: BoolSort, Bool: x.Int < y.Int}, true
+			return x < y, true
 		}
-		return Value{Sort: BoolSort, Bool: x.Int <= y.Int}, true
+		return x <= y, true
+	}
+	panic("sym: non-boolean op in evalBoolIdx")
+}
+
+// evalIntIdx evaluates integer and uninterpreted-sort expressions (both
+// carry their value in Int) over an array-indexed assignment.
+func evalIntIdx(e *Expr, a *asn) (res int64, known bool) {
+	switch e.Op {
+	case OpConst:
+		return e.Int, true
+	case OpVar:
+		if e.VarID < len(a.set) && a.set[e.VarID] {
+			return a.vals[e.VarID].Int, true
+		}
+		return 0, false
 	case OpAdd, OpSub, OpMul:
-		x, xok := evalIdx(e.Args[0], a)
-		y, yok := evalIdx(e.Args[1], a)
+		x, xok := evalIntIdx(e.Args[0], a)
+		y, yok := evalIntIdx(e.Args[1], a)
 		if !xok || !yok {
-			return Value{}, false
+			return 0, false
 		}
-		var r int64
 		switch e.Op {
 		case OpAdd:
-			r = x.Int + y.Int
+			return x + y, true
 		case OpSub:
-			r = x.Int - y.Int
+			return x - y, true
 		default:
-			r = x.Int * y.Int
+			return x * y, true
 		}
-		return Value{Sort: IntSort, Int: r}, true
 	case OpIte:
-		c, cok := evalIdx(e.Args[0], a)
+		c, cok := evalBoolIdx(e.Args[0], a)
 		if !cok {
-			x, xok := evalIdx(e.Args[1], a)
-			y, yok := evalIdx(e.Args[2], a)
-			if xok && yok && x.Sort == y.Sort && x.Int == y.Int && x.Bool == y.Bool {
+			// Both branches agreeing would still determine the value.
+			x, xok := evalIntIdx(e.Args[1], a)
+			y, yok := evalIntIdx(e.Args[2], a)
+			if xok && yok && x == y {
 				return x, true
 			}
-			return Value{}, false
+			return 0, false
 		}
-		if c.Bool {
-			return evalIdx(e.Args[1], a)
+		if c {
+			return evalIntIdx(e.Args[1], a)
 		}
-		return evalIdx(e.Args[2], a)
+		return evalIntIdx(e.Args[2], a)
 	}
-	panic("sym: unknown op")
+	panic("sym: non-integer op in evalIntIdx")
 }
 
 // Solver finds finite models of boolean expressions. The zero value is
 // ready to use; IntRadius widens the integer candidate domain.
+//
+// A Solver is single-flight: it reuses internal search state across
+// calls, so it must not be invoked re-entrantly (e.g. starting another
+// Solve from inside an Enumerate callback) or concurrently. Use separate
+// Solver values for nested or parallel searches.
 type Solver struct {
 	// IntRadius is the half-width of the neighborhood around each integer
 	// constant included in the candidate domain (default 2).
 	IntRadius int64
-	// MaxSteps bounds the backtracking search (default 2_000_000 node
-	// visits); exceeding it makes Solve report unknown via ok=false plus
-	// ErrBudget from LastErr.
+	// MaxSteps bounds the backtracking search (default 5,000,000 node
+	// visits). When the budget is exhausted, Solve/Sat report
+	// unsatisfiable and Budget reports true: the result is "unknown", and
+	// callers that treat it as a definite "no" under-approximate.
 	MaxSteps int
 
 	steps    int
 	exceeded bool
+
+	// Reusable assignment arrays, sized by the largest interned variable
+	// id seen. Backtracking always unsets what it set, so the arrays are
+	// clean between searches and only ever need growing.
+	asnVals []Value
+	asnSet  []bool
 }
 
-// Budget reports whether the previous Solve/Enumerate call ran out of steps
-// before exhausting the search space.
+// Budget reports whether the previous Solve/Sat/Enumerate/SatAssuming call
+// ran out of steps before exhausting the search space — i.e. whether an
+// unsatisfiable answer from that call is actually "unknown".
 func (s *Solver) Budget() bool { return s.exceeded }
 
 type domain struct {
@@ -288,20 +356,39 @@ type domain struct {
 	vals []Value
 }
 
-// domains computes a finite candidate domain for every free variable.
+// domains computes a finite candidate domain for every free variable of
+// the conjunct list.
 //
 // Booleans get {false, true}. Each uninterpreted sort gets element ids
 // 0..n-1 where n = (#variables of that sort) + (#distinct constants of that
 // sort): by the small-model property of equality logic this is sufficient.
 // Integers get the union of neighborhoods around every integer constant in
 // the formula plus a small default range.
-func (s *Solver) domains(e *Expr) []domain {
-	vars := varsInOrder(e)
+func (s *Solver) domains(conjs []*Expr) []domain {
+	var vars []*Expr
+	seenVar := map[string]bool{}
+	for _, c := range conjs {
+		for _, v := range varsInOrder(c) {
+			if !seenVar[v.Name] {
+				seenVar[v.Name] = true
+				vars = append(vars, v)
+			}
+		}
+	}
 	sortVarCount := map[Sort]int{}
 	sortConsts := map[Sort]map[int64]bool{}
 	intConsts := map[int64]bool{0: true, 1: true}
+	// The constant walk memoizes on node identity: shared subterms of the
+	// hash-consed DAG contribute their constants once.
+	visited := map[*Expr]bool{}
 	var walk func(x *Expr)
 	walk = func(x *Expr) {
+		if x.id != 0 {
+			if visited[x] {
+				return
+			}
+			visited[x] = true
+		}
 		if x.Op == OpConst {
 			switch x.Sort.Kind {
 			case KindInt:
@@ -317,7 +404,9 @@ func (s *Solver) domains(e *Expr) []domain {
 			walk(a)
 		}
 	}
-	walk(e)
+	for _, c := range conjs {
+		walk(c)
+	}
 	for _, v := range vars {
 		if v.Sort.Kind == KindUnint {
 			sortVarCount[v.Sort]++
@@ -340,36 +429,47 @@ func (s *Solver) domains(e *Expr) []domain {
 	}
 	sort.Slice(intVals, func(i, j int) bool { return intVals[i] < intVals[j] })
 
+	// Candidate value slices are shared between same-sort variables (and
+	// never mutated by the search), so each is built once per call.
+	var sharedIntVals []Value
+	sortVals := map[Sort][]Value{}
 	doms := make([]domain, 0, len(vars))
 	for _, v := range vars {
 		var vals []Value
 		switch v.Sort.Kind {
 		case KindBool:
-			vals = []Value{{Sort: BoolSort, Bool: false}, {Sort: BoolSort, Bool: true}}
+			vals = boolVals
 		case KindInt:
-			for _, iv := range intVals {
-				vals = append(vals, Value{Sort: IntSort, Int: iv})
-			}
-		case KindUnint:
-			n := sortVarCount[v.Sort]
-			ids := map[int64]bool{}
-			for id := range sortConsts[v.Sort] {
-				ids[id] = true
-			}
-			next := int64(0)
-			for len(ids) < n+len(sortConsts[v.Sort]) || len(ids) == 0 {
-				if !ids[next] {
-					ids[next] = true
+			if sharedIntVals == nil {
+				sharedIntVals = make([]Value, 0, len(intVals))
+				for _, iv := range intVals {
+					sharedIntVals = append(sharedIntVals, Value{Sort: IntSort, Int: iv})
 				}
-				next++
 			}
-			ordered := make([]int64, 0, len(ids))
-			for id := range ids {
-				ordered = append(ordered, id)
-			}
-			sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
-			for _, id := range ordered {
-				vals = append(vals, Value{Sort: v.Sort, Int: id})
+			vals = sharedIntVals
+		case KindUnint:
+			if vals = sortVals[v.Sort]; vals == nil {
+				n := sortVarCount[v.Sort]
+				ids := map[int64]bool{}
+				for id := range sortConsts[v.Sort] {
+					ids[id] = true
+				}
+				next := int64(0)
+				for len(ids) < n+len(sortConsts[v.Sort]) || len(ids) == 0 {
+					if !ids[next] {
+						ids[next] = true
+					}
+					next++
+				}
+				ordered := make([]int64, 0, len(ids))
+				for id := range ids {
+					ordered = append(ordered, id)
+				}
+				sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+				for _, id := range ordered {
+					vals = append(vals, Value{Sort: v.Sort, Int: id})
+				}
+				sortVals[v.Sort] = vals
 			}
 		}
 		doms = append(doms, domain{v: v, vals: vals})
@@ -377,13 +477,20 @@ func (s *Solver) domains(e *Expr) []domain {
 	return doms
 }
 
+// boolVals is the shared candidate domain of every boolean variable.
+var boolVals = []Value{{Sort: BoolSort, Bool: false}, {Sort: BoolSort, Bool: true}}
+
 // Solve returns a model of e, or ok=false if e is unsatisfiable over the
 // finite candidate domains (or the step budget was exceeded; see Budget).
 func (s *Solver) Solve(e *Expr) (Model, bool) {
+	return s.solveConjs(Conjuncts(e))
+}
+
+func (s *Solver) solveConjs(conjs []*Expr) (Model, bool) {
 	var found Model
-	s.Enumerate(e, func(m Model) bool {
-		found = m.Clone()
-		return false // stop at first model
+	s.enumerateConjs(conjs, func(m Model) bool {
+		found = m.Clone() // the emitted map is reused by the enumerator
+		return false      // stop at first model
 	})
 	return found, found != nil
 }
@@ -400,30 +507,43 @@ func (s *Solver) Valid(e *Expr) bool { return !s.Sat(Not(e)) }
 
 // Enumerate invokes cb for each model of e until cb returns false or the
 // space is exhausted. The Model passed to cb is reused; clone it to keep it.
-//
-// The search splits e's top-level conjunction and evaluates each conjunct
-// exactly once — at the depth where its last free variable gets assigned —
-// so pruning costs are proportional to the conjunct, not the whole formula.
 func (s *Solver) Enumerate(e *Expr, cb func(Model) bool) {
 	if e.IsFalse() {
+		s.steps, s.exceeded = 0, false
 		return
 	}
-	doms := s.domains(e)
+	s.enumerateConjs(Conjuncts(e), cb)
+}
+
+// enumerateConjs is Enumerate over an implicit conjunction, without
+// requiring the caller to materialize an And node (cone-of-influence
+// queries assemble conjunct lists on the fly, and interning a transient
+// conjunction per query would churn the intern table for no benefit).
+//
+// The search evaluates each conjunct exactly once per candidate — at the
+// depth where its last free variable gets assigned — so pruning costs are
+// proportional to the conjunct, not the whole formula.
+func (s *Solver) enumerateConjs(conjs []*Expr, cb func(Model) bool) {
+	s.steps = 0
+	s.exceeded = false
+	for _, c := range conjs {
+		if c.IsFalse() {
+			return
+		}
+	}
+	doms := s.domains(conjs)
 	varIdx := make(map[string]int, len(doms))
 	for i, d := range doms {
 		varIdx[d.v.Name] = i
 	}
 
-	var conjs []*Expr
-	if e.Op == OpAnd {
-		conjs = e.Args
-	} else if !e.IsTrue() {
-		conjs = []*Expr{e}
-	}
 	// completedAt[i] lists conjuncts whose variables are all assigned
 	// once doms[i] has a value.
 	completedAt := make([][]*Expr, len(doms))
 	for _, conj := range conjs {
+		if conj.IsTrue() {
+			continue
+		}
 		last := -1
 		for _, v := range varsInOrder(conj) {
 			if idx := varIdx[v.Name]; idx > last {
@@ -440,8 +560,6 @@ func (s *Solver) Enumerate(e *Expr, cb func(Model) bool) {
 		completedAt[last] = append(completedAt[last], conj)
 	}
 
-	s.steps = 0
-	s.exceeded = false
 	maxSteps := s.MaxSteps
 	if maxSteps == 0 {
 		maxSteps = 5_000_000
@@ -452,13 +570,21 @@ func (s *Solver) Enumerate(e *Expr, cb func(Model) bool) {
 			maxID = d.v.VarID
 		}
 	}
-	a := &asn{vals: make([]Value, maxID+1), set: make([]bool, maxID+1)}
+	if len(s.asnVals) <= maxID {
+		s.asnVals = make([]Value, maxID+1)
+		s.asnSet = make([]bool, maxID+1)
+	}
+	a := &asn{vals: s.asnVals, set: s.asnSet}
+	// The emitted Model is one reusable map, cleared and refilled per
+	// model (the documented Enumerate contract): dense enumerations with
+	// filtering callbacks would otherwise allocate a map per model.
+	reused := make(Model, len(doms))
 	emit := func() bool {
-		m := make(Model, len(doms))
+		clear(reused)
 		for _, d := range doms {
-			m[d.v.Name] = a.vals[d.v.VarID]
+			reused[d.v.Name] = a.vals[d.v.VarID]
 		}
-		return cb(m)
+		return cb(reused)
 	}
 	var rec func(i int) bool
 	rec = func(i int) bool {
@@ -472,16 +598,17 @@ func (s *Solver) Enumerate(e *Expr, cb func(Model) bool) {
 			s.steps++
 			if s.steps > maxSteps {
 				s.exceeded = true
+				a.set[id] = false // keep the reusable arrays clean
 				return false
 			}
 			a.vals[id] = val
 			a.set[id] = true
 			for _, conj := range completedAt[i] {
-				v, ok := evalIdx(conj, a)
+				v, ok := evalBoolIdx(conj, a)
 				if !ok {
 					panic("sym: completed conjunct left undetermined: " + conj.String())
 				}
-				if !v.Bool {
+				if !v {
 					continue next // prune this value
 				}
 			}
@@ -516,13 +643,22 @@ func Conjuncts(e *Expr) []*Expr {
 // soundness and completeness both follow from that disjointness. The
 // returned model binds only cone variables.
 func (s *Solver) SatAssuming(base, extra *Expr) (Model, bool) {
+	return s.SatAssumingConjs(Conjuncts(base), extra)
+}
+
+// SatAssumingConjs is SatAssuming with the base formula given as its
+// conjunct list. Callers that maintain path conditions as incremental
+// conjunct lists (the symbolic executor) query directly, avoiding the
+// construction of a conjunction node per feasibility check.
+func (s *Solver) SatAssumingConjs(conjs []*Expr, extra *Expr) (Model, bool) {
 	if extra.IsTrue() {
+		s.exceeded = false // no search ran, so no truncation
 		return Model{}, true
 	}
 	if extra.IsFalse() {
+		s.exceeded = false
 		return nil, false
 	}
-	conjs := Conjuncts(base)
 	type entry struct {
 		e    *Expr
 		vars []*Expr
@@ -536,7 +672,7 @@ func (s *Solver) SatAssuming(base, extra *Expr) (Model, bool) {
 	for _, v := range varsInOrder(extra) {
 		inCone[v.Name] = true
 	}
-	cone := []*Expr{extra}
+	nCone := 1
 	for changed := true; changed; {
 		changed = false
 		for i := range entries {
@@ -555,51 +691,81 @@ func (s *Solver) SatAssuming(base, extra *Expr) (Model, bool) {
 			}
 			entries[i].used = true
 			changed = true
-			cone = append(cone, entries[i].e)
+			nCone++
 			for _, v := range entries[i].vars {
 				inCone[v.Name] = true
 			}
 		}
 	}
-	// Keep base-conjunct order first so chronological pruning still works,
-	// with extra last (it references the latest variables).
-	ordered := make([]*Expr, 0, len(cone))
+	// extra goes first (its own top-level conjuncts spliced so each
+	// prunes independently), then the cone's base conjuncts in
+	// chronological order. Leading with extra assigns its variables at
+	// the top of the search tree, so when base ∧ extra is unsatisfiable
+	// the contradiction surfaces after a handful of assignments instead
+	// of after enumerating every base-satisfying prefix — and
+	// unsatisfiable queries are exactly the expensive ones, since a
+	// satisfiable query stops at its first model either way. The answer
+	// is order-independent (the search is complete over the same
+	// domains); only which model is found first changes, and SatAssuming
+	// models feed heuristic witness caches, never outputs.
+	ordered := make([]*Expr, 0, nCone)
+	ordered = append(ordered, Conjuncts(extra)...)
 	for i := range entries {
 		if entries[i].used {
 			ordered = append(ordered, entries[i].e)
 		}
 	}
-	ordered = append(ordered, extra)
-	return s.Solve(And(ordered...))
+	return s.solveConjs(ordered)
 }
 
 // varsInOrder returns free variables in first-occurrence order. Because
 // conjunctions preserve construction order, this matches the chronological
 // order in which path conditions constrained the variables, so assigning in
 // this order lets partial evaluation prune failed prefixes early.
-func varsInOrder(e *Expr) []*Expr {
-	var out []*Expr
-	seen := map[string]bool{}
-	var walk func(x *Expr)
-	walk = func(x *Expr) {
-		if x.Op == OpVar {
-			if !seen[x.Name] {
-				seen[x.Name] = true
-				out = append(out, x)
-			}
-			return
-		}
-		for _, a := range x.Args {
-			walk(a)
-		}
-	}
-	walk(e)
-	return out
-}
+//
+// For interned expressions this is the node's cached variable list,
+// computed once at construction; the result must not be mutated.
+func varsInOrder(e *Expr) []*Expr { return varsOf(e) }
 
 // Substitute replaces variables in e according to bind, returning the
 // simplified result. Variables absent from bind are left in place.
 func Substitute(e *Expr, bind map[string]*Expr) *Expr {
+	var memo map[*Expr]*Expr
+	if e.size >= evalMemoMinSize {
+		memo = make(map[*Expr]*Expr)
+	}
+	return subst(e, bind, memo)
+}
+
+func subst(e *Expr, bind map[string]*Expr, memo map[*Expr]*Expr) *Expr {
+	// Subtrees mentioning no bound variable are unchanged; the cached
+	// variable list makes this prune O(vars) instead of O(tree).
+	if e.id != 0 {
+		hit := false
+		for _, v := range e.vars {
+			if _, ok := bind[v.Name]; ok {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			return e
+		}
+	}
+	useMemo := memo != nil && e.size >= evalMemoNodeSize
+	if useMemo {
+		if r, ok := memo[e]; ok {
+			return r
+		}
+	}
+	r := substNode(e, bind, memo)
+	if useMemo {
+		memo[e] = r
+	}
+	return r
+}
+
+func substNode(e *Expr, bind map[string]*Expr, memo map[*Expr]*Expr) *Expr {
 	switch e.Op {
 	case OpConst:
 		return e
@@ -615,7 +781,7 @@ func Substitute(e *Expr, bind map[string]*Expr) *Expr {
 	args := make([]*Expr, len(e.Args))
 	changed := false
 	for i, a := range e.Args {
-		args[i] = Substitute(a, bind)
+		args[i] = subst(a, bind, memo)
 		if args[i] != a {
 			changed = true
 		}

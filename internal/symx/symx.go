@@ -40,7 +40,16 @@ type abort struct{ reason string }
 // fresh-variable helpers on it.
 type Context struct {
 	solver *sym.Solver
-	pc     *sym.Expr
+	// The path condition is maintained as its conjunct list plus a
+	// pointer-identity set for deduplication (conjuncts are hash-consed,
+	// so pointer equality is structural equality). It only ever grows by
+	// conjunction, so the list is append-only: conjuncts keep their
+	// position for the life of the path, and the conjunction node itself
+	// is materialized once per completed path instead of once per
+	// branch. The list is kept exactly equal to
+	// sym.Conjuncts(sym.And(pcConjs...)).
+	pcConjs []*sym.Expr
+	pcSet   map[*sym.Expr]struct{}
 
 	trace []bool // prerecorded decisions for replay
 	pos   int    // next decision index
@@ -53,6 +62,25 @@ type Context struct {
 	// witness is a model known to satisfy pc; it lets Branch and Assume
 	// skip solver calls when the witness already decides a condition.
 	witness sym.Model
+	// witOK counts the leading pcConjs the current witness is known to
+	// satisfy. Because pcConjs is append-only and conjunct verdicts are
+	// fixed under a fixed witness, each witness check only evaluates the
+	// conjuncts beyond this high-water mark (plus the new condition)
+	// instead of re-walking the whole path condition; witness merges
+	// reset the mark, since overlaid values can flip earlier verdicts.
+	witOK int
+
+	// infeas caches conditions proven unsatisfiable with the path
+	// condition. The path condition only grows, so infeasibility is
+	// monotone: once pc ∧ cond is unsatisfiable it stays unsatisfiable,
+	// and dictionary lookups that re-branch on the same (hash-consed,
+	// pointer-identical) key equalities skip the repeated refutation.
+	infeas map[*sym.Expr]struct{}
+
+	// budgeted records that some feasibility check exhausted the
+	// solver's step budget, so an "infeasible" answer along this path
+	// may actually be unknown.
+	budgeted bool
 
 	// initProbes registers, per dictionary name, the initial-content
 	// probes made by any dictionary instance, so that two states built
@@ -65,7 +93,8 @@ type Context struct {
 func newContext(trace []bool, solver *sym.Solver) *Context {
 	return &Context{
 		solver:     solver,
-		pc:         sym.True,
+		pcSet:      map[*sym.Expr]struct{}{},
+		infeas:     map[*sym.Expr]struct{}{},
 		trace:      trace,
 		varKinds:   map[string]VarKind{},
 		varSorts:   map[string]sym.Sort{},
@@ -75,7 +104,7 @@ func newContext(trace []bool, solver *sym.Solver) *Context {
 }
 
 // PC returns the current path condition.
-func (c *Context) PC() *sym.Expr { return c.pc }
+func (c *Context) PC() *sym.Expr { return sym.And(c.pcConjs...) }
 
 // Var returns the memoized named variable, creating it with the given sort
 // and kind on first use. Names are content-derived by callers (for example
@@ -112,39 +141,121 @@ func (c *Context) Abort() {
 	panic(abort{reason: "model abort"})
 }
 
+// addPC conjoins cond onto the path condition: cond's top-level conjuncts
+// are appended, skipping ones already present, exactly mirroring what
+// sym.And's flatten-and-dedup would produce. cond must not be False (the
+// callers abort or return before reaching here).
+func (c *Context) addPC(cond *sym.Expr) {
+	for _, cj := range sym.Conjuncts(cond) {
+		if _, dup := c.pcSet[cj]; dup {
+			continue
+		}
+		c.pcSet[cj] = struct{}{}
+		c.pcConjs = append(c.pcConjs, cj)
+	}
+}
+
+// witnessDecides reports whether the cached witness decides pc ∧ cond
+// true. The witness is heuristic (merges can go stale against replayed
+// constraints), so it must decide the whole path condition, not just
+// cond, before it is trusted; the witOK high-water mark makes the pc part
+// incremental — only conjuncts not yet verified under the current witness
+// are evaluated.
+func (c *Context) witnessDecides(cond *sym.Expr) bool {
+	if c.witness == nil {
+		return false
+	}
+	for c.witOK < len(c.pcConjs) {
+		v, ok := c.witness.TryEval(c.pcConjs[c.witOK])
+		if !ok || !v.Bool {
+			return false
+		}
+		c.witOK++
+	}
+	if cond.IsTrue() {
+		return true
+	}
+	v, ok := c.witness.TryEval(cond)
+	return ok && v.Bool
+}
+
+// pcImplies reports that cond (or each of its conjuncts) is already a
+// path-condition conjunct, so pc ∧ cond ≡ pc — satisfiable by invariant.
+// Hash-consing makes this a pointer lookup.
+func (c *Context) pcImplies(cond *sym.Expr) bool {
+	if _, ok := c.pcSet[cond]; ok {
+		return true
+	}
+	if cond.Op != sym.OpAnd {
+		return false
+	}
+	for _, cj := range cond.Args {
+		if _, ok := c.pcSet[cj]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// pcRefutes reports that the path condition syntactically contains cond's
+// negation (or the negation of one of cond's conjuncts), so pc ∧ cond is
+// unsatisfiable without a search. sym.Not canonicalizes — for an OpNot
+// argument it returns the inner node — so one lookup covers both
+// polarities.
+func (c *Context) pcRefutes(cond *sym.Expr) bool {
+	if _, ok := c.pcSet[sym.Not(cond)]; ok {
+		return true
+	}
+	if cond.Op == sym.OpAnd {
+		for _, cj := range cond.Args {
+			if _, ok := c.pcSet[sym.Not(cj)]; ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // Assume conjoins cond onto the path condition, abandoning the path if it
 // becomes unsatisfiable.
 func (c *Context) Assume(cond *sym.Expr) {
 	if cond.IsTrue() {
 		return
 	}
-	npc := sym.And(c.pc, cond)
-	if npc.IsFalse() {
+	if cond.IsFalse() || c.pcRefutes(cond) {
 		panic(abort{reason: "assumption unsatisfiable"})
 	}
-	if c.witness != nil {
-		// The witness is heuristic (merges can go stale against replayed
-		// constraints), so it must decide the whole new path condition,
-		// not just cond, before we trust it.
-		if v, ok := c.witness.TryEval(npc); ok && v.Bool {
-			c.pc = npc
-			return
-		}
+	if c.pcImplies(cond) {
+		return // already a conjunct: nothing to add or check
 	}
-	m, ok := c.solver.SatAssuming(c.pc, cond)
+	if c.witnessDecides(cond) {
+		c.addPC(cond)
+		return
+	}
+	m, ok := c.solver.SatAssumingConjs(c.pcConjs, cond)
 	if !ok {
+		if c.solver.Budget() {
+			c.budgeted = true
+		}
 		panic(abort{reason: "assumption unsatisfiable"})
 	}
 	c.mergeWitness(m)
-	c.pc = npc
+	c.addPC(cond)
 }
 
 // mergeWitness overlays a cone model onto the cached witness. The cone's
 // variables are disjoint from the conjuncts the cone excluded, so the
 // overlay still satisfies the whole path condition.
 func (c *Context) mergeWitness(m sym.Model) {
+	if len(m) == 0 {
+		// No-op overlay: verified conjuncts stay verified, and a still-
+		// missing witness stays nil (an empty model can't decide any
+		// later condition, it would only blunt the witness fast paths).
+		return
+	}
 	if c.witness == nil {
 		c.witness = m.Clone()
+		c.witOK = 0
 		return
 	}
 	merged := c.witness.Clone()
@@ -152,24 +263,41 @@ func (c *Context) mergeWitness(m sym.Model) {
 		merged[k] = v
 	}
 	c.witness = merged
+	// Overlaid values can flip conjuncts the old witness satisfied, so
+	// the verified prefix must be rechecked from the start.
+	c.witOK = 0
 }
 
 // feasible reports whether pc ∧ cond is satisfiable (pc is known
 // satisfiable — the invariant every admitted constraint preserves). The
-// cached witness is consulted first; because merges can leave it stale
-// against replayed constraints, it must decide the whole conjunction, not
-// just cond. Otherwise a cone-of-influence search runs and its model is
-// returned for merging.
+// cached witness is consulted first; when it doesn't decide the
+// conjunction, a cone-of-influence search runs and its model is returned
+// for merging.
 func (c *Context) feasible(cond *sym.Expr) (sym.Model, bool) {
 	if cond.IsFalse() {
 		return nil, false
 	}
-	if c.witness != nil {
-		if v, ok := c.witness.TryEval(sym.And(c.pc, cond)); ok && v.Bool {
-			return nil, true
+	if _, bad := c.infeas[cond]; bad {
+		return nil, false // monotone: infeasible once, infeasible forever
+	}
+	if c.pcImplies(cond) {
+		return nil, true
+	}
+	if c.pcRefutes(cond) {
+		c.infeas[cond] = struct{}{}
+		return nil, false
+	}
+	if c.witnessDecides(cond) {
+		return nil, true
+	}
+	m, ok := c.solver.SatAssumingConjs(c.pcConjs, cond)
+	if !ok {
+		c.infeas[cond] = struct{}{}
+		if c.solver.Budget() {
+			c.budgeted = true
 		}
 	}
-	return c.solver.SatAssuming(c.pc, cond)
+	return m, ok
 }
 
 // Branch explores both sides of cond. It returns the concrete decision for
@@ -187,9 +315,9 @@ func (c *Context) Branch(cond *sym.Expr) bool {
 		d := c.trace[c.pos]
 		c.pos++
 		if d {
-			c.pc = sym.And(c.pc, cond)
+			c.addPC(cond)
 		} else {
-			c.pc = sym.And(c.pc, sym.Not(cond))
+			c.addPC(sym.Not(cond))
 		}
 		return d
 	}
@@ -204,17 +332,17 @@ func (c *Context) Branch(cond *sym.Expr) bool {
 		alt[c.pos] = false
 		c.pending = append(c.pending, alt)
 		c.takeDecision(true)
-		c.pc = sym.And(c.pc, cond)
+		c.addPC(cond)
 		c.mergeWitness(tModel)
 		return true
 	case tSat:
 		c.takeDecision(true)
-		c.pc = sym.And(c.pc, cond)
+		c.addPC(cond)
 		c.mergeWitness(tModel)
 		return true
 	case fSat:
 		c.takeDecision(false)
-		c.pc = sym.And(c.pc, sym.Not(cond))
+		c.addPC(sym.Not(cond))
 		c.mergeWitness(fModel)
 		return false
 	default:
@@ -241,6 +369,15 @@ type Path struct {
 	// variables created after the last solver call). Downstream checks
 	// can try it before paying for a solver search.
 	Witness sym.Model
+	// Budgeted reports that a feasibility check during the exploration
+	// exhausted the solver's step budget. The flag is aggregated across
+	// the whole run — including replays that aborted *because* of a
+	// truncated check, whose own paths never surface — so any path of an
+	// affected exploration carries it: some branch somewhere reported
+	// infeasible without proof and may have been wrongly pruned.
+	// Downstream classification should treat the pair's negative answers
+	// as unknown rather than definitive.
+	Budgeted bool
 }
 
 // Options tunes path exploration.
@@ -254,6 +391,15 @@ type Options struct {
 // Run symbolically executes fn, exploring every feasible path, and returns
 // one Path per feasible complete execution.
 func Run(fn func(*Context) any, opt Options) []Path {
+	paths, _ := RunChecked(fn, opt)
+	return paths
+}
+
+// RunChecked is Run plus the aggregated budget flag, which it also stamps
+// on every returned path. The separate return matters when exploration is
+// truncated so hard that *no* path survives: an empty path list with
+// budgeted=true means "unknown", not "no feasible executions".
+func RunChecked(fn func(*Context) any, opt Options) ([]Path, bool) {
 	maxPaths := opt.MaxPaths
 	if maxPaths == 0 {
 		maxPaths = 4096
@@ -264,6 +410,7 @@ func Run(fn func(*Context) any, opt Options) []Path {
 	}
 
 	var paths []Path
+	budgeted := false
 	queue := [][]bool{nil}
 	for len(queue) > 0 && len(paths) < maxPaths {
 		prefix := queue[len(queue)-1]
@@ -271,12 +418,23 @@ func Run(fn func(*Context) any, opt Options) []Path {
 		ctx := newContext(prefix, solver)
 		res, aborted := runOne(ctx, fn)
 		queue = append(queue, ctx.pending...)
+		// Aggregate across replays, aborted ones included: a replay that
+		// aborted because a truncated check said "infeasible" may have
+		// been a real path, and only the surviving paths can carry that
+		// news to the caller.
+		budgeted = budgeted || ctx.budgeted
 		if aborted {
 			continue
 		}
-		paths = append(paths, Path{PC: ctx.pc, Result: res, VarKinds: ctx.VarKinds(), Witness: ctx.witness})
+		paths = append(paths, Path{
+			PC: ctx.PC(), Result: res, VarKinds: ctx.VarKinds(),
+			Witness: ctx.witness,
+		})
 	}
-	return paths
+	for i := range paths {
+		paths[i].Budgeted = budgeted
+	}
+	return paths, budgeted
 }
 
 // runOne executes fn once under ctx, converting abort panics into a flag.

@@ -1,0 +1,57 @@
+package testgen
+
+import (
+	"testing"
+
+	"repro/internal/analyzer"
+	"repro/internal/model"
+	"repro/internal/sym"
+)
+
+// TestClassFormulaDegenerate pins the single-pass enumeration's stopping
+// precondition: with no class-distinguishing variables (no booleans,
+// fewer than two same-sort non-booleans), classFormula is True — every
+// model is one class, and Generate must stop after the first instead of
+// walking the whole model space.
+func TestClassFormulaDegenerate(t *testing.T) {
+	x := sym.Var("cfd.x", sym.IntSort)
+	m := sym.Model{"cfd.x": {Sort: sym.IntSort, Int: 1}}
+	if cf := classFormula(m, []*sym.Expr{x}); !cf.IsTrue() {
+		t.Fatalf("one lone integer variable should give the degenerate class formula, got %v", cf)
+	}
+	if cf := classFormula(m, nil); !cf.IsTrue() {
+		t.Fatalf("empty variable set should give the degenerate class formula, got %v", cf)
+	}
+}
+
+// TestGenerateCheckedReportsTruncation pins the budget surface: when the
+// class enumeration runs out of solver steps, GenerateChecked says so
+// instead of silently under-generating; with the default budget the same
+// pair reports zero truncation.
+func TestGenerateCheckedReportsTruncation(t *testing.T) {
+	op := model.OpByName("stat")
+	pr := analyzer.AnalyzePair(op, op, analyzer.Options{})
+	nCommut := len(pr.CommutativePaths())
+	if nCommut == 0 {
+		t.Fatal("stat x stat should have commutative paths")
+	}
+
+	full, truncated := GenerateChecked(pr, Options{})
+	if truncated != 0 {
+		t.Errorf("default budget reported %d truncated paths", truncated)
+	}
+	if len(full) == 0 {
+		t.Fatal("no tests generated")
+	}
+
+	tiny, truncated := GenerateChecked(pr, Options{Solver: &sym.Solver{MaxSteps: 3}})
+	if truncated == 0 {
+		t.Error("three-step budget truncated no enumerations")
+	}
+	if truncated > nCommut {
+		t.Errorf("%d truncated paths exceeds the %d commutative paths", truncated, nCommut)
+	}
+	if len(tiny) >= len(full) {
+		t.Errorf("truncated generation produced %d tests, full budget %d", len(tiny), len(full))
+	}
+}

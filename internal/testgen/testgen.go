@@ -34,6 +34,16 @@ type Options struct {
 // Generate produces concrete test cases for every commutative path of a
 // pair analysis.
 func Generate(pr analyzer.PairResult, opt Options) []kernel.TestCase {
+	tests, _ := GenerateChecked(pr, opt)
+	return tests
+}
+
+// GenerateChecked is Generate plus the truncation count: the number of
+// commutative paths whose class enumeration ran out of solver budget, so
+// isomorphism classes (and hence tests) may have been dropped. Callers
+// that report coverage treat such pairs as under-approximated, like the
+// analyzer's Unknown paths.
+func GenerateChecked(pr analyzer.PairResult, opt Options) ([]kernel.TestCase, int) {
 	maxPer := opt.MaxTestsPerPath
 	if maxPer == 0 {
 		maxPer = 4
@@ -43,17 +53,33 @@ func Generate(pr analyzer.PairResult, opt Options) []kernel.TestCase {
 		solver = &sym.Solver{}
 	}
 	var tests []kernel.TestCase
+	truncated := 0
 	seen := map[string]bool{}
 	for pi, path := range pr.Paths {
 		if !path.Commutes {
 			continue
 		}
 		vars := classVars(path.CommuteCond, path.VarKinds)
-		cond := path.CommuteCond
-		for ti := 0; ti < maxPer; ti++ {
-			m, ok := solver.Solve(cond)
-			if !ok {
-				break
+		// One enumeration pass collects a representative per isomorphism
+		// class: each model is kept if no previously kept model's class
+		// formula covers it. This keeps the same representatives, in the
+		// same order, as restarting Solve on cond ∧ ¬class(m₁) ∧ … (the
+		// class negations only prune — they add no variables or
+		// constants, so the candidate domains and assignment order are
+		// untouched), without re-enumerating each restart's prefix. The
+		// trade: filtering happens at the leaves, so covered regions are
+		// not pruned at interior depths the way conjoined ¬class
+		// formulas pruned them. With this model's deliberately tiny
+		// domains the covered-leaf walk is cheap, and a path that does
+		// exhaust the (single, shared) step budget is reported through
+		// the truncation count instead of failing silently.
+		ti := 0
+		var classes []*sym.Expr
+		solver.Enumerate(path.CommuteCond, func(m sym.Model) bool {
+			for _, cf := range classes {
+				if v, ok := m.TryEval(cf); ok && v.Bool {
+					return true // same class as a kept model; keep searching
+				}
 			}
 			id := fmt.Sprintf("%s_%s_path%d_test%d", pr.OpA, pr.OpB, pi, ti)
 			tc, err := materialize(id, pr, path, m, opt)
@@ -64,10 +90,24 @@ func Generate(pr analyzer.PairResult, opt Options) []kernel.TestCase {
 				seen[contentKey(tc)] = true
 				tests = append(tests, tc)
 			}
-			cond = sym.And(cond, sym.Not(classFormula(m, vars)))
+			cf := classFormula(m, vars)
+			ti++
+			if cf.IsTrue() {
+				// Degenerate class formula (no class-distinguishing
+				// variables): every model is in this class, so there is
+				// nothing further to enumerate — matching the restart
+				// formulation, where conjoining ¬true made the next
+				// query unsatisfiable immediately.
+				return false
+			}
+			classes = append(classes, cf)
+			return ti < maxPer
+		})
+		if solver.Budget() {
+			truncated++
 		}
 	}
-	return tests
+	return tests, truncated
 }
 
 // contentKey renders a test case's distinguishing content (everything but
