@@ -49,7 +49,7 @@ var testsCache map[[2]string]eval.PairTests
 func generatedTests(b *testing.B) map[[2]string]eval.PairTests {
 	b.Helper()
 	if testsCache == nil {
-		testsCache = eval.GenerateAllTests(fsOps(),
+		testsCache = eval.GenerateAllTests(model.Spec, fsOps(),
 			analyzer.Options{}, testgen.Options{MaxTestsPerPath: 4}, nil)
 	}
 	return testsCache
@@ -61,7 +61,7 @@ func benchMatrix(b *testing.B, kernelName string) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var err error
-		m, err = eval.CheckMatrix(kernelName, tests)
+		m, err = eval.CheckMatrix(model.Spec, kernelName, tests)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -85,7 +85,7 @@ func BenchmarkFigure6Sv6(b *testing.B) { benchMatrix(b, "sv6") }
 func BenchmarkTestGeneration(b *testing.B) {
 	var total int
 	for i := 0; i < b.N; i++ {
-		tests := eval.GenerateAllTests(fsOps(),
+		tests := eval.GenerateAllTests(model.Spec, fsOps(),
 			analyzer.Options{}, testgen.Options{MaxTestsPerPath: 4}, nil)
 		total = 0
 		for _, ts := range tests {

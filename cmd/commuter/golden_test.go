@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/analyzer"
+	"repro/internal/eval"
+	"repro/internal/model"
+	"repro/internal/testgen"
+)
+
+// TestMatrixFSGolden pins the rendering of `commuter matrix -ops fs`
+// byte-for-byte against a golden file captured before the spec-layer
+// refactor: the pluggable spec machinery must be a pure re-plumbing of
+// the POSIX pipeline — same tests, same cells, same formatting. Refresh
+// testdata/matrix_fs.golden only for a deliberate semantic change.
+func TestMatrixFSGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fs matrix in -short mode")
+	}
+	want, err := os.ReadFile("testdata/matrix_fs.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	universe := opSet(model.Spec, "fs")
+	tests := eval.GenerateAllTests(model.Spec, universe,
+		analyzer.Options{}, testgen.Options{MaxTestsPerPath: 4}, nil)
+	got := ""
+	for _, kn := range []string{"linux", "sv6"} {
+		m, err := eval.CheckMatrix(model.Spec, kn, tests)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got += eval.FormatMatrix(m) + "\n"
+	}
+	if got != string(want) {
+		t.Errorf("matrix -ops fs rendering changed from golden\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -1,6 +1,6 @@
 // Command commuter drives the COMMUTER pipeline: it analyzes the
-// commutativity of modeled POSIX operation pairs, generates concrete test
-// cases from the commutativity conditions, and checks kernel
+// commutativity of a modeled interface's operation pairs, generates
+// concrete test cases from the commutativity conditions, and checks
 // implementations for conflict-freedom, regenerating the paper's Figure 6.
 //
 // Usage:
@@ -11,18 +11,30 @@
 //	commuter matrix  -ops all -kernel sv6    # one kernel, all 18 ops
 //	commuter sweep   -ops all -j 8           # parallel, cacheable matrix run
 //	commuter sweep   -ops all -cache .sweep  # repeat sweeps are incremental
+//	commuter matrix  -spec queue             # second interface: mail queues
+//	commuter analyze -spec queue -pair send,send
 //
-// The -ops flag selects the operation universe: "fs" (the 9 file-system
-// metadata and descriptor calls — fast), "all" (the full 18), or a
-// comma-separated list (deduplicated, first appearance wins). Every
-// pipeline command takes -lowestfd to model POSIX's lowest-FD rule instead
-// of the O_ANYFD variant, reproducing the lowest-FD column of Figure 6.
+// Every pipeline command takes -spec, selecting the modeled interface
+// specification from the registry (default "posix", the 18 POSIX calls;
+// "queue" is the §7.3 mail server's communication interface with its
+// memq reference implementation). The scalable commutativity rule is
+// about interfaces, not about POSIX — the same ANALYZE → TESTGEN → CHECK
+// layers run whichever spec is selected.
+//
+// The -ops flag selects the operation universe within the spec: "all"
+// (every op), a spec-defined named subset (posix's "fs" is the 9
+// file-system metadata and descriptor calls — fast; queue has "ordered"
+// and "any"), or a comma-separated list (deduplicated, first appearance
+// wins). Every pipeline command takes -lowestfd to model POSIX's
+// lowest-FD rule instead of the O_ANYFD variant, reproducing the
+// lowest-FD column of Figure 6.
 //
 // The full 18-op matrix is dominated by the VM pairs; sweep fans the pairs
 // across a worker pool (-j, default all CPUs) and can persist per-pair
 // results in an on-disk cache (-cache), so a warm rerun finishes in well
 // under a second and a cold run takes minutes of wall-clock rather than
-// the tens of minutes the sequential path needs.
+// the tens of minutes the sequential path needs. Cache keys fold in the
+// spec name, so every spec can share one cache directory.
 package main
 
 import (
@@ -36,7 +48,9 @@ import (
 	"repro/internal/analyzer"
 	"repro/internal/eval"
 	"repro/internal/kernel"
-	"repro/internal/model"
+	_ "repro/internal/model"     // registers the "posix" spec
+	_ "repro/internal/queuespec" // registers the "queue" spec
+	"repro/internal/spec"
 	"repro/internal/sweep"
 	"repro/internal/testgen"
 )
@@ -65,48 +79,49 @@ func usage() {
 	os.Exit(2)
 }
 
-func parsePair(s string) (*model.OpDef, *model.OpDef) {
+// specFlag registers the -spec flag on a subcommand's flag set.
+func specFlag(fs *flag.FlagSet) *string {
+	return fs.String("spec", "posix",
+		"interface specification to analyze (known: "+strings.Join(spec.Names(), ", ")+")")
+}
+
+// resolveSpec looks the selected spec up in the registry.
+func resolveSpec(name string) spec.Spec {
+	sp, err := spec.Lookup(name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "commuter:", err)
+		os.Exit(2)
+	}
+	return sp
+}
+
+func parsePair(sp spec.Spec, s string) (*spec.Op, *spec.Op) {
 	parts := strings.Split(s, ",")
 	if len(parts) != 2 {
 		fmt.Fprintln(os.Stderr, "commuter: -pair wants op1,op2")
 		os.Exit(2)
 	}
-	a, b := model.OpByName(parts[0]), model.OpByName(parts[1])
-	if a == nil || b == nil {
-		fmt.Fprintf(os.Stderr, "commuter: unknown op in %q\n", s)
-		os.Exit(2)
+	a, err := spec.OpByName(sp, strings.TrimSpace(parts[0]))
+	if err == nil {
+		var b *spec.Op
+		if b, err = spec.OpByName(sp, strings.TrimSpace(parts[1])); err == nil {
+			return a, b
+		}
 	}
-	return a, b
+	fmt.Fprintln(os.Stderr, "commuter:", err)
+	os.Exit(2)
+	return nil, nil
 }
 
-func opSet(s string) []*model.OpDef {
-	switch s {
-	case "all":
-		return model.Ops()
-	case "fs":
-		names := []string{"open", "link", "unlink", "rename", "stat", "fstat", "lseek", "close", "pipe"}
-		var out []*model.OpDef
-		for _, n := range names {
-			out = append(out, model.OpByName(n))
-		}
-		return out
-	}
-	// Dedupe while preserving first-appearance order: a repeated name
-	// ("open,open") must not enumerate its pairs more than once, which
-	// would multi-count them in matrix totals.
-	var out []*model.OpDef
-	seen := map[string]bool{}
-	for _, n := range strings.Split(s, ",") {
-		op := model.OpByName(strings.TrimSpace(n))
-		if op == nil {
-			fmt.Fprintf(os.Stderr, "commuter: unknown op %q\n", n)
-			os.Exit(2)
-		}
-		if seen[op.Name] {
-			continue
-		}
-		seen[op.Name] = true
-		out = append(out, op)
+// opSet resolves the -ops selector: "all", a spec-defined named subset,
+// or a comma list — deduplicated preserving first-appearance order, so a
+// repeated name ("open,open") can't multi-count its pairs in matrix
+// totals. Unknown names exit with the spec's ops listed.
+func opSet(sp spec.Spec, s string) []*spec.Op {
+	out, err := spec.OpSet(sp, s)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "commuter:", err)
+		os.Exit(2)
 	}
 	return out
 }
@@ -114,13 +129,15 @@ func opSet(s string) []*model.OpDef {
 func cmdAnalyze(args []string) {
 	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
 	pair := fs.String("pair", "rename,rename", "operation pair to analyze")
+	specName := specFlag(fs)
 	lowest := fs.Bool("lowestfd", false, "model POSIX's lowest-FD rule instead of O_ANYFD nondeterminism")
 	verbose := fs.Bool("v", false, "print each path's commutativity condition")
 	fs.Parse(args)
 
-	a, b := parsePair(*pair)
+	sp := resolveSpec(*specName)
+	a, b := parsePair(sp, *pair)
 	start := time.Now()
-	r := analyzer.AnalyzePair(a, b, analyzer.Options{Config: model.Config{LowestFD: *lowest}})
+	r := analyzer.AnalyzePair(sp, a, b, analyzer.Options{Config: spec.Config{LowestFD: *lowest}})
 	fmt.Printf("%s (%v)\n", r.Summary(), time.Since(start).Round(time.Millisecond))
 	fmt.Println("\ncommutative situations (§5.1-style clauses):")
 	for _, d := range analyzer.Describe(r) {
@@ -147,14 +164,16 @@ func cmdAnalyze(args []string) {
 func cmdTestgen(args []string) {
 	fs := flag.NewFlagSet("testgen", flag.ExitOnError)
 	pair := fs.String("pair", "rename,rename", "operation pair")
+	specName := specFlag(fs)
 	perPath := fs.Int("per-path", 4, "max isomorphism classes per path")
 	lowest := fs.Bool("lowestfd", false, "model POSIX's lowest-FD rule instead of O_ANYFD nondeterminism")
-	check := fs.Bool("check", false, "also run the tests on both kernels")
+	check := fs.Bool("check", false, "also run the tests on the spec's implementations")
 	fs.Parse(args)
 
-	a, b := parsePair(*pair)
-	r := analyzer.AnalyzePair(a, b, analyzer.Options{Config: model.Config{LowestFD: *lowest}})
-	tests, truncated := testgen.GenerateChecked(r, testgen.Options{MaxTestsPerPath: *perPath, LowestFD: *lowest})
+	sp := resolveSpec(*specName)
+	a, b := parsePair(sp, *pair)
+	r := analyzer.AnalyzePair(sp, a, b, analyzer.Options{Config: spec.Config{LowestFD: *lowest}})
+	tests, truncated := testgen.GenerateChecked(sp, r, testgen.Options{MaxTestsPerPath: *perPath, LowestFD: *lowest})
 	fmt.Printf("%d test cases for %s x %s\n", len(tests), r.OpA, r.OpB)
 	if n := r.Unknown() + truncated; n > 0 {
 		fmt.Fprintf(os.Stderr, "commuter: warning: %d path(s) hit the solver budget; the test set is a lower bound\n", n)
@@ -162,8 +181,9 @@ func cmdTestgen(args []string) {
 	for _, tc := range tests {
 		printTest(tc)
 		if *check {
-			for _, kn := range []string{"linux", "sv6"} {
-				res, err := kernel.Check(eval.NewKernelFunc(kn), tc)
+			for _, impl := range sp.Impls() {
+				kn := impl.Name
+				res, err := kernel.Check(impl.New, tc)
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "  %s: %v\n", kn, err)
 					continue
@@ -195,6 +215,13 @@ func printTest(tc kernel.TestCase) {
 	for _, p := range tc.Setup.Pipes {
 		fmt.Printf("    pipe %d: %v\n", p.ID, p.Items)
 	}
+	for _, q := range tc.Setup.Queues {
+		if q.Core < 0 {
+			fmt.Printf("    queue ordered: %v\n", q.Items)
+		} else {
+			fmt.Printf("    queue core %d: %v\n", q.Core, q.Items)
+		}
+	}
 	for _, fd := range tc.Setup.FDs {
 		if fd.Pipe {
 			fmt.Printf("    fd p%d:%d -> pipe %d (write=%v)\n", fd.Proc, fd.FD, fd.PipeID, fd.WriteEnd)
@@ -209,32 +236,39 @@ func printTest(tc kernel.TestCase) {
 	fmt.Printf("  op0: %v\n  op1: %v\n", tc.Calls[0], tc.Calls[1])
 }
 
-// kernelSet resolves the -kernel flag to implementation names.
-func kernelSet(s string) []string {
-	switch s {
-	case "both":
-		return []string{"linux", "sv6"}
-	case "linux", "sv6":
-		return []string{s}
+// kernelSet resolves the -kernel flag against the spec's implementation
+// bindings: "both"/"all" selects every implementation of the spec.
+func kernelSet(sp spec.Spec, s string) []sweep.KernelSpec {
+	var names []string
+	if s != "both" && s != "all" {
+		names = strings.Split(s, ",")
+		for i := range names {
+			names[i] = strings.TrimSpace(names[i])
+		}
 	}
-	fmt.Fprintf(os.Stderr, "commuter: unknown kernel %q (want linux, sv6 or both)\n", s)
-	os.Exit(2)
-	return nil
+	ks, err := eval.ImplSpecs(sp, names...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "commuter:", err)
+		os.Exit(2)
+	}
+	return ks
 }
 
 func cmdMatrix(args []string) {
 	fs := flag.NewFlagSet("matrix", flag.ExitOnError)
-	ops := fs.String("ops", "fs", `operation universe: "fs", "all", or a comma list`)
-	kern := fs.String("kernel", "both", "linux, sv6, or both")
+	ops := fs.String("ops", "", `operation universe: "all", a spec-named subset ("fs"), or a comma list`)
+	specName := specFlag(fs)
+	kern := fs.String("kernel", "both", `implementation names, or "both"/"all" for every one`)
 	perPath := fs.Int("per-path", 4, "max isomorphism classes per path")
 	lowest := fs.Bool("lowestfd", false, "model POSIX's lowest-FD rule instead of O_ANYFD nondeterminism")
 	fs.Parse(args)
 
-	universe := opSet(*ops)
-	kernels := kernelSet(*kern)
+	sp := resolveSpec(*specName)
+	universe := opSet(sp, defaultOps(sp, *ops))
+	kernels := kernelSet(sp, *kern)
 	start := time.Now()
-	tests := eval.GenerateAllTests(universe,
-		analyzer.Options{Config: model.Config{LowestFD: *lowest}},
+	tests := eval.GenerateAllTests(sp, universe,
+		analyzer.Options{Config: spec.Config{LowestFD: *lowest}},
 		testgen.Options{MaxTestsPerPath: *perPath, LowestFD: *lowest},
 		func(pair string, n int) {
 			fmt.Fprintf(os.Stderr, "generated %-20s %4d tests (%v)\n", pair, n, time.Since(start).Round(time.Second))
@@ -246,8 +280,8 @@ func cmdMatrix(args []string) {
 	fmt.Printf("generated %d tests for %d operations in %v\n\n",
 		total, len(universe), time.Since(start).Round(time.Second))
 
-	for _, kn := range kernels {
-		m, err := eval.CheckMatrix(kn, tests)
+	for _, ks := range kernels {
+		m, err := eval.CheckMatrix(sp, ks.Name, tests)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "commuter:", err)
 			os.Exit(1)
@@ -256,21 +290,33 @@ func cmdMatrix(args []string) {
 	}
 }
 
+// defaultOps resolves the -ops selector, falling back to the spec's own
+// declared default when the flag was not given.
+func defaultOps(sp spec.Spec, flagVal string) string {
+	if flagVal != "" {
+		return flagVal
+	}
+	return sp.DefaultSet()
+}
+
 func cmdSweep(args []string) {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
-	ops := fs.String("ops", "fs", `operation universe: "fs", "all", or a comma list`)
+	ops := fs.String("ops", "", `operation universe: "all", a spec-named subset ("fs"), or a comma list`)
+	specName := specFlag(fs)
 	j := fs.Int("j", runtime.NumCPU(), "worker pool size")
 	cacheDir := fs.String("cache", "", "result cache directory (empty disables caching)")
 	out := fs.String("out", "", "write per-pair results as JSONL to this file")
-	kern := fs.String("kernel", "both", "linux, sv6, or both")
+	kern := fs.String("kernel", "both", `implementation names, or "both"/"all" for every one`)
 	perPath := fs.Int("per-path", 4, "max isomorphism classes per path")
 	lowest := fs.Bool("lowestfd", false, "model POSIX's lowest-FD rule instead of O_ANYFD nondeterminism")
 	fs.Parse(args)
 
+	sp := resolveSpec(*specName)
 	cfg := sweep.Config{
-		Ops:      opSet(*ops),
-		Kernels:  eval.SweepKernels(kernelSet(*kern)...),
-		Analyzer: analyzer.Options{Config: model.Config{LowestFD: *lowest}},
+		Spec:     sp,
+		Ops:      opSet(sp, defaultOps(sp, *ops)),
+		Kernels:  kernelSet(sp, *kern),
+		Analyzer: analyzer.Options{Config: spec.Config{LowestFD: *lowest}},
 		Testgen:  testgen.Options{MaxTestsPerPath: *perPath, LowestFD: *lowest},
 		Workers:  *j,
 		Progress: func(ev sweep.Event) {

@@ -1,10 +1,14 @@
 package main
 
-import "testing"
+import (
+	"testing"
 
-func opNames(t *testing.T, spec string) []string {
+	"repro/internal/model"
+)
+
+func opNames(t *testing.T, sel string) []string {
 	t.Helper()
-	ops := opSet(spec)
+	ops := opSet(model.Spec, sel)
 	names := make([]string, len(ops))
 	for i, op := range ops {
 		names[i] = op.Name
@@ -17,7 +21,7 @@ func opNames(t *testing.T, spec string) []string {
 // open/open pair in matrix totals.
 func TestOpSetDedupes(t *testing.T) {
 	for _, tc := range []struct {
-		spec string
+		sel  string
 		want []string
 	}{
 		{"open,open", []string{"open"}},
@@ -25,14 +29,14 @@ func TestOpSetDedupes(t *testing.T) {
 		{"rename, open ,rename,open", []string{"rename", "open"}},
 		{"stat", []string{"stat"}},
 	} {
-		got := opNames(t, tc.spec)
+		got := opNames(t, tc.sel)
 		if len(got) != len(tc.want) {
-			t.Errorf("opSet(%q) = %v, want %v", tc.spec, got, tc.want)
+			t.Errorf("opSet(%q) = %v, want %v", tc.sel, got, tc.want)
 			continue
 		}
 		for i := range got {
 			if got[i] != tc.want[i] {
-				t.Errorf("opSet(%q) = %v, want %v", tc.spec, got, tc.want)
+				t.Errorf("opSet(%q) = %v, want %v", tc.sel, got, tc.want)
 				break
 			}
 		}
@@ -42,10 +46,10 @@ func TestOpSetDedupes(t *testing.T) {
 // TestOpSetNamedUniverses pins the named universes' sizes so the dedupe
 // path can't accidentally shadow them.
 func TestOpSetNamedUniverses(t *testing.T) {
-	if got := opSet("fs"); len(got) != 9 {
+	if got := opSet(model.Spec, "fs"); len(got) != 9 {
 		t.Errorf(`opSet("fs") has %d ops, want 9`, len(got))
 	}
-	if got := opSet("all"); len(got) != 18 {
+	if got := opSet(model.Spec, "all"); len(got) != 18 {
 		t.Errorf(`opSet("all") has %d ops, want 18`, len(got))
 	}
 }

@@ -5,24 +5,40 @@
 //	scalebench open    # Figure 7(b): openbench, any-FD vs lowest-FD
 //	scalebench mail    # Figure 7(c): mail server, commutative vs regular
 //	scalebench all     # everything
+//	scalebench perf    # machine-readable pipeline perf record
 //
 // Values are operations per million simulated cycles per core; the paper's
 // absolute axes differ (real hardware), but the shapes — who scales, who
 // collapses, and where — are the reproduction target.
+//
+// perf measures the pipeline itself rather than the simulated kernels: the
+// Figure 6 fs-subset sweep wall-clock and the sym-engine (ANALYZE/TESTGEN)
+// micro-benchmarks. With -json FILE it writes the measurements as a
+// BENCH_*.json record (CI uploads one per run as an artifact), so the
+// repository's performance trajectory is tracked instead of anecdotal.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
+	"repro/internal/analyzer"
 	"repro/internal/eval"
+	"repro/internal/model"
+	"repro/internal/spec"
+	"repro/internal/sweep"
+	"repro/internal/testgen"
 )
 
 func main() {
 	coresFlag := flag.String("cores", "", "comma-separated core counts (default 1,10,...,80)")
+	jsonPath := flag.String("json", "", "perf: also write the record to this BENCH_*.json file")
 	flag.Parse()
 	cores := eval.DefaultCores
 	if *coresFlag != "" {
@@ -58,6 +74,11 @@ func main() {
 				eval.Mailbench(true, cores),
 				eval.Mailbench(false, cores),
 			}))
+		case "perf":
+			if err := runPerf(*jsonPath); err != nil {
+				fmt.Fprintln(os.Stderr, "scalebench:", err)
+				os.Exit(1)
+			}
 		default:
 			fmt.Fprintf(os.Stderr, "scalebench: unknown benchmark %q\n", name)
 			os.Exit(2)
@@ -70,4 +91,103 @@ func main() {
 		return
 	}
 	run(which)
+}
+
+// benchRecord is one measurement of the perf record.
+type benchRecord struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit"`
+}
+
+// benchReport is the BENCH_*.json schema: enough environment to compare
+// runs, plus flat records a dashboard (or jq) can consume directly.
+type benchReport struct {
+	Schema    int           `json:"schema"`
+	Generated string        `json:"generated"`
+	GoVersion string        `json:"go_version"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	NumCPU    int           `json:"num_cpu"`
+	Records   []benchRecord `json:"records"`
+}
+
+// runPerf measures the pipeline: one cold Figure 6 fs-subset sweep (both
+// kernels, all CPUs, no cache) for the end-to-end wall-clock, plus the
+// sym-engine micro-benchmarks the README's Performance section tracks.
+func runPerf(jsonPath string) error {
+	var records []benchRecord
+	add := func(name string, value float64, unit string) {
+		records = append(records, benchRecord{Name: name, Value: value, Unit: unit})
+		fmt.Printf("%-32s %12.2f %s\n", name, value, unit)
+	}
+
+	ops, err := spec.OpSet(model.Spec, "fs")
+	if err != nil {
+		return err
+	}
+	kernels, err := eval.ImplSpecs(model.Spec)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	res, err := sweep.Run(sweep.Config{Spec: model.Spec, Ops: ops, Kernels: kernels})
+	if err != nil {
+		return err
+	}
+	add("fig6_fs_sweep_wall_ms", float64(time.Since(start))/1e6, "ms")
+	add("fig6_fs_sweep_tests", float64(res.TotalTests()), "tests")
+	add("fig6_fs_sweep_workers", float64(res.Workers), "workers")
+
+	// Sym-engine micro-benchmarks: the hot ANALYZE and ANALYZE+TESTGEN
+	// paths on representative pairs, best of three.
+	rename := timeBest(3, func() {
+		r, _ := spec.OpByName(model.Spec, "rename")
+		analyzer.AnalyzePair(model.Spec, r, r, analyzer.Options{})
+	})
+	add("sym_analyze_rename_rename_ms", rename, "ms")
+	open2 := timeBest(3, func() {
+		o, _ := spec.OpByName(model.Spec, "open")
+		pr := analyzer.AnalyzePair(model.Spec, o, o, analyzer.Options{})
+		testgen.Generate(model.Spec, pr, testgen.Options{})
+	})
+	add("sym_analyze_testgen_open_open_ms", open2, "ms")
+
+	if jsonPath == "" {
+		return nil
+	}
+	report := benchReport{
+		Schema:    1,
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Records:   records,
+	}
+	data, err := json.MarshalIndent(report, "", "\t")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", jsonPath)
+	return nil
+}
+
+// timeBest runs fn n times and returns the fastest wall-clock in ms (the
+// usual minimum-of-N noise reduction).
+func timeBest(n int, fn func()) float64 {
+	best := 0.0
+	for i := 0; i < n; i++ {
+		t0 := time.Now()
+		fn()
+		d := float64(time.Since(t0)) / 1e6
+		if i == 0 || d < best {
+			best = d
+		}
+	}
+	return best
 }

@@ -25,6 +25,8 @@ import (
 	"repro/internal/kernel/monokernel"
 	"repro/internal/kernel/svsix"
 	"repro/internal/model"
+	_ "repro/internal/queuespec" // registers the "queue" spec
+	"repro/internal/spec"
 	"repro/internal/sweep"
 	"repro/internal/testgen"
 )
@@ -57,8 +59,10 @@ type (
 	Curve = eval.Curve
 	// Matrix is a Figure 6 conflict matrix.
 	Matrix = eval.Matrix
-	// OpDef is one modeled POSIX operation.
+	// OpDef is one modeled operation of a spec.
 	OpDef = model.OpDef
+	// Spec is one pluggable interface specification (see internal/spec).
+	Spec = spec.Spec
 
 	// SweepConfig describes one parallel pipeline sweep.
 	SweepConfig = sweep.Config
@@ -77,28 +81,32 @@ type (
 	KernelSpec = sweep.KernelSpec
 )
 
-// OpNames returns the 18 modeled POSIX operations in Figure 6 order.
-func OpNames() []string {
-	var out []string
-	for _, op := range model.Ops() {
-		out = append(out, op.Name)
-	}
-	return out
-}
+// Specs returns the names of the registered interface specifications
+// ("posix", "queue", plus any the embedding program registered).
+func Specs() []string { return spec.Names() }
 
-// Ops resolves operation names to their definitions, for building a
-// SweepConfig universe. With no arguments it returns all 18 modeled
-// operations in Figure 6 order; an unknown name panics like Analyze.
+// LookupSpec resolves a registered spec by name; unknown names error with
+// the registered specs listed.
+func LookupSpec(name string) (Spec, error) { return spec.Lookup(name) }
+
+// OpNames returns the 18 modeled POSIX operations in Figure 6 order.
+func OpNames() []string { return spec.OpNames(model.Spec) }
+
+// Ops resolves operation names against the default posix spec, for
+// building a SweepConfig universe. With no arguments it returns all 18
+// modeled operations in Figure 6 order; an unknown name panics (with the
+// known ops listed) like Analyze.
 func Ops(names ...string) []*OpDef {
 	if len(names) == 0 {
 		return model.Ops()
 	}
 	out := make([]*OpDef, len(names))
 	for i, n := range names {
-		out[i] = model.OpByName(n)
-		if out[i] == nil {
-			panic("commuter: unknown operation " + n)
+		op, err := spec.OpByName(model.Spec, n)
+		if err != nil {
+			panic("commuter: " + err.Error())
 		}
+		out[i] = op
 	}
 	return out
 }
@@ -119,18 +127,50 @@ func SweepKernels(names ...string) []KernelSpec { return eval.SweepKernels(names
 // swept kernel.
 func MatricesFromSweep(res *SweepResult) []Matrix { return eval.MatricesFromSweep(res) }
 
-// Analyze computes the commutativity conditions of an operation pair.
+// Analyze computes the commutativity conditions of a POSIX operation
+// pair; unknown names panic with the known ops listed. Use AnalyzeIn to
+// analyze a pair of another registered spec.
 func Analyze(opA, opB string, opt Options) PairResult {
-	a, b := model.OpByName(opA), model.OpByName(opB)
-	if a == nil || b == nil {
-		panic("commuter: unknown operation " + opA + "/" + opB)
+	pr, err := AnalyzeIn("posix", opA, opB, opt)
+	if err != nil {
+		panic("commuter: " + err.Error())
 	}
-	return analyzer.AnalyzePair(a, b, opt)
+	return pr
 }
 
-// GenerateTests converts an analysis into concrete test cases.
+// AnalyzeIn computes the commutativity conditions of an operation pair of
+// the named spec ("posix" reproduces Analyze; "queue" analyzes the mail
+// pipeline's communication interface). Unknown specs or ops return
+// errors listing the registered alternatives.
+func AnalyzeIn(specName, opA, opB string, opt Options) (PairResult, error) {
+	sp, err := spec.Lookup(specName)
+	if err != nil {
+		return PairResult{}, err
+	}
+	a, err := spec.OpByName(sp, opA)
+	if err != nil {
+		return PairResult{}, err
+	}
+	b, err := spec.OpByName(sp, opB)
+	if err != nil {
+		return PairResult{}, err
+	}
+	return analyzer.AnalyzePair(sp, a, b, opt), nil
+}
+
+// GenerateTests converts an analysis into concrete test cases. The
+// analysis carries its spec's identity, so the right concretizer is used
+// whichever spec produced it.
 func GenerateTests(pr PairResult, opt GenOptions) []TestCase {
-	return testgen.Generate(pr, opt)
+	specName := pr.Spec
+	if specName == "" {
+		specName = "posix"
+	}
+	sp, err := spec.Lookup(specName)
+	if err != nil {
+		panic("commuter: " + err.Error())
+	}
+	return testgen.Generate(sp, pr, opt)
 }
 
 // NewLinux returns a fresh Linux-3.8-like baseline kernel.

@@ -14,7 +14,7 @@ package analyzer
 import (
 	"fmt"
 
-	"repro/internal/model"
+	"repro/internal/spec"
 	"repro/internal/sym"
 	"repro/internal/symx"
 )
@@ -40,9 +40,9 @@ type PairPath struct {
 	// as definitively non-commutative.
 	Unknown bool
 	// StateA and StateB are the final symbolic states of the two
-	// permutations (op0;op1 and op1;op0); TESTGEN mines their
-	// initial-probe entries to materialize concrete initial states.
-	StateA, StateB *model.State
+	// permutations (op0;op1 and op1;op0); the spec's Concretizer mines
+	// their initial-probe entries to materialize concrete initial states.
+	StateA, StateB spec.State
 	// RetsA0.. hold the return vectors: RetsA* from the op0;op1 order,
 	// RetsB* from op1;op0; index 0 is op0's return, 1 is op1's.
 	RetsA, RetsB [2][]*sym.Expr
@@ -52,6 +52,10 @@ type PairPath struct {
 
 // PairResult aggregates analysis of one operation pair.
 type PairResult struct {
+	// Spec names the interface specification the pair belongs to; the
+	// pipeline threads it through test generation and caching so results
+	// of different specs can never be conflated.
+	Spec     string
 	OpA, OpB string
 	// Paths holds every feasible joint path.
 	Paths []PairPath
@@ -75,8 +79,8 @@ func (r *PairResult) CommutativePaths() []PairPath {
 
 // Options tunes the analysis.
 type Options struct {
-	// Config selects model specification variants.
-	Config model.Config
+	// Config selects spec variants (e.g. the POSIX lowest-FD rule).
+	Config spec.Config
 	// MaxPaths caps joint path exploration per pair (default 4096).
 	MaxPaths int
 	// Solver overrides the default solver.
@@ -85,35 +89,36 @@ type Options struct {
 
 type pathData struct {
 	eq             *sym.Expr
-	stateA, stateB *model.State
+	stateA, stateB spec.State
 	retsA, retsB   [2][]*sym.Expr
 }
 
-// AnalyzePair symbolically executes both permutations of (opA, opB) from a
-// shared symbolic initial state and classifies every joint path.
-func AnalyzePair(opA, opB *model.OpDef, opt Options) PairResult {
+// AnalyzePair symbolically executes both permutations of (opA, opB) —
+// operations of the spec sp — from a shared symbolic initial state and
+// classifies every joint path.
+func AnalyzePair(sp spec.Spec, opA, opB *spec.Op, opt Options) PairResult {
 	solver := opt.Solver
 	if solver == nil {
 		solver = &sym.Solver{}
 	}
 	paths, budgeted := symx.RunChecked(func(c *symx.Context) any {
-		argsA := model.MakeArgs(c, opA, "0")
-		argsB := model.MakeArgs(c, opB, "1")
+		argsA := spec.MakeArgs(c, opA, "0")
+		argsB := spec.MakeArgs(c, opB, "1")
 
-		sa := model.NewState(c)
-		ma := &model.M{C: c, S: sa, Cfg: opt.Config}
-		rA0 := opA.Exec(ma, "0", argsA)
-		rA1 := opB.Exec(ma, "1", argsB)
+		sa := sp.NewState(c, opt.Config)
+		xa := &spec.Exec{C: c, S: sa, Cfg: opt.Config}
+		rA0 := opA.Exec(xa, "0", argsA)
+		rA1 := opB.Exec(xa, "1", argsB)
 
-		sb := model.NewState(c)
-		mb := &model.M{C: c, S: sb, Cfg: opt.Config}
-		rB1 := opB.Exec(mb, "1", argsB)
-		rB0 := opA.Exec(mb, "0", argsA)
+		sb := sp.NewState(c, opt.Config)
+		xb := &spec.Exec{C: c, S: sb, Cfg: opt.Config}
+		rB1 := opB.Exec(xb, "1", argsB)
+		rB0 := opA.Exec(xb, "0", argsA)
 
 		eq := sym.And(
-			model.RetEq(rA0, rB0),
-			model.RetEq(rA1, rB1),
-			model.Equivalent(c, sa, sb))
+			spec.RetEq(rA0, rB0),
+			spec.RetEq(rA1, rB1),
+			spec.Equivalent(c, sa, sb))
 		return pathData{
 			eq:     eq,
 			stateA: sa, stateB: sb,
@@ -122,7 +127,7 @@ func AnalyzePair(opA, opB *model.OpDef, opt Options) PairResult {
 		}
 	}, symx.Options{MaxPaths: opt.MaxPaths, Solver: solver})
 
-	res := PairResult{OpA: opA.Name, OpB: opB.Name, Budgeted: budgeted}
+	res := PairResult{Spec: sp.Name(), OpA: opA.Name, OpB: opB.Name, Budgeted: budgeted}
 	for _, p := range paths {
 		d := p.Result.(pathData)
 		cc := sym.And(p.PC, d.eq)
@@ -218,11 +223,11 @@ func (c *checker) divergeSat(eq *sym.Expr) (sat, unknown bool) {
 
 // AnalyzeAll analyzes every unordered pair drawn from ops (including
 // self-pairs), invoking report after each pair if non-nil.
-func AnalyzeAll(ops []*model.OpDef, opt Options, report func(PairResult)) []PairResult {
+func AnalyzeAll(sp spec.Spec, ops []*spec.Op, opt Options, report func(PairResult)) []PairResult {
 	var out []PairResult
 	for i, a := range ops {
 		for _, b := range ops[:i+1] {
-			r := AnalyzePair(b, a, opt)
+			r := AnalyzePair(sp, b, a, opt)
 			out = append(out, r)
 			if report != nil {
 				report(r)

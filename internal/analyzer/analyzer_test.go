@@ -14,7 +14,7 @@ func analyze(t *testing.T, a, b string, opt Options) PairResult {
 	if opA == nil || opB == nil {
 		t.Fatalf("unknown ops %q %q", a, b)
 	}
-	return AnalyzePair(opA, opB, opt)
+	return AnalyzePair(model.Spec, opA, opB, opt)
 }
 
 // assertCommuteUnder checks that some commutative path's condition admits

@@ -5,7 +5,6 @@ import (
 	"sort"
 	"strings"
 
-	"repro/internal/model"
 	"repro/internal/sym"
 	"repro/internal/symx"
 )
@@ -97,17 +96,20 @@ func describePath(solver *sym.Solver, p PairPath) string {
 			clauses = append(clauses, "!"+short(a))
 		}
 	}
-	// Name-existence facts from the initial state: filename arguments
-	// appear as fname[<arg>].present state variables.
+	// Existence facts from the initial state: an uninterpreted-sort
+	// argument used directly as a dictionary key appears as a
+	// "<dict>[<arg>].present" state variable (POSIX filename arguments
+	// probe the fname directory this way).
 	for _, a := range names {
 		va := argVars[a]
-		if va.Sort != model.FilenameSort {
+		if va.Sort.Kind != sym.KindUnint {
 			continue
 		}
-		pv := sym.Var("fname["+a+"].present", sym.BoolSort)
-		if _, mentioned := p.VarKinds[pv.Name]; !mentioned {
+		pvName := presentVarFor(p.VarKinds, a)
+		if pvName == "" {
 			continue
 		}
+		pv := sym.Var(pvName, sym.BoolSort)
 		switch implied(pv) {
 		case 1:
 			clauses = append(clauses, short(a)+" exists")
@@ -119,6 +121,25 @@ func describePath(solver *sym.Solver, p PairPath) string {
 		return "unconditionally"
 	}
 	return strings.Join(clauses, ", ")
+}
+
+// presentVarFor finds the membership variable of the initial-state
+// dictionary location keyed by argument a alone: a state variable named
+// "<dict>[<a>].present". Candidates are sorted so a (hypothetical) arg
+// probing several dictionaries describes deterministically.
+func presentVarFor(kinds map[string]symx.VarKind, a string) string {
+	suffix := "[" + a + "].present"
+	var candidates []string
+	for name, kind := range kinds {
+		if kind == symx.KindState && strings.HasSuffix(name, suffix) {
+			candidates = append(candidates, name)
+		}
+	}
+	if len(candidates) == 0 {
+		return ""
+	}
+	sort.Strings(candidates)
+	return candidates[0]
 }
 
 // short strips the operation prefix from an argument variable name:

@@ -3,7 +3,7 @@ package analyzer
 import (
 	"fmt"
 
-	"repro/internal/model"
+	"repro/internal/spec"
 	"repro/internal/sym"
 	"repro/internal/symx"
 )
@@ -30,6 +30,8 @@ type SetPath struct {
 
 // SetResult aggregates a set analysis.
 type SetResult struct {
+	// Spec names the interface specification the set belongs to.
+	Spec  string
 	Ops   []string
 	Paths []SetPath
 	// Budgeted mirrors PairResult.Budgeted: exploration hit the solver
@@ -121,7 +123,7 @@ func subsets(n int) [][]int {
 // state; additionally, every permutation of every proper subset runs so
 // intermediate-state equivalence can be required, which is what makes the
 // resulting condition monotonic (SIM rather than just SI).
-func AnalyzeSet(ops []*model.OpDef, opt Options) SetResult {
+func AnalyzeSet(sp spec.Spec, ops []*spec.Op, opt Options) SetResult {
 	if len(ops) < 2 {
 		panic("analyzer: AnalyzeSet wants at least two operations")
 	}
@@ -154,14 +156,14 @@ func AnalyzeSet(ops []*model.OpDef, opt Options) SetResult {
 	paths, budgeted := symx.RunChecked(func(c *symx.Context) any {
 		args := make([][]*sym.Expr, len(ops))
 		for i, op := range ops {
-			args[i] = model.MakeArgs(c, op, fmt.Sprint(i))
+			args[i] = spec.MakeArgs(c, op, fmt.Sprint(i))
 		}
-		run := func(order []int) (*model.State, [][]*sym.Expr) {
-			st := model.NewState(c)
-			m := &model.M{C: c, S: st, Cfg: opt.Config}
+		run := func(order []int) (spec.State, [][]*sym.Expr) {
+			st := sp.NewState(c, opt.Config)
+			x := &spec.Exec{C: c, S: st, Cfg: opt.Config}
 			rets := make([][]*sym.Expr, len(ops))
 			for _, i := range order {
-				rets[i] = ops[i].Exec(m, fmt.Sprint(i), args[i])
+				rets[i] = ops[i].Exec(x, fmt.Sprint(i), args[i])
 			}
 			return st, rets
 		}
@@ -174,9 +176,9 @@ func AnalyzeSet(ops []*model.OpDef, opt Options) SetResult {
 		for _, perm := range fullPerms[1:] {
 			st, rets := run(perm)
 			for i := range ops {
-				conj = append(conj, model.RetEq(rets0[i], rets[i]))
+				conj = append(conj, spec.RetEq(rets0[i], rets[i]))
 			}
-			conj = append(conj, model.Equivalent(c, st0, st))
+			conj = append(conj, spec.Equivalent(c, st0, st))
 		}
 		// Proper subsets: intermediate states must agree across each
 		// subset's permutations (the paper's extra condition for sets
@@ -185,13 +187,13 @@ func AnalyzeSet(ops []*model.OpDef, opt Options) SetResult {
 			base, _ := run(perms[0])
 			for _, perm := range perms[1:] {
 				st, _ := run(perm)
-				conj = append(conj, model.Equivalent(c, base, st))
+				conj = append(conj, spec.Equivalent(c, base, st))
 			}
 		}
 		return setData{eq: sym.And(conj...)}
 	}, symx.Options{MaxPaths: maxPaths, Solver: solver})
 
-	res := SetResult{Budgeted: budgeted}
+	res := SetResult{Spec: sp.Name(), Budgeted: budgeted}
 	for _, op := range ops {
 		res.Ops = append(res.Ops, op.Name)
 	}

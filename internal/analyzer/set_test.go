@@ -17,7 +17,7 @@ func analyzeSet(t *testing.T, names []string, opt Options) SetResult {
 		}
 		ops = append(ops, op)
 	}
-	return AnalyzeSet(ops, opt)
+	return AnalyzeSet(model.Spec, ops, opt)
 }
 
 func TestPermutationsAndSubsets(t *testing.T) {

@@ -67,7 +67,7 @@ func TestCheckerSyntacticShortCircuits(t *testing.T) {
 // under-approximation the budget plumbing exists to prevent.
 func TestFullyTruncatedPairIsUnknown(t *testing.T) {
 	op := model.OpByName("stat")
-	r := AnalyzePair(op, op, Options{Solver: &sym.Solver{MaxSteps: 1}})
+	r := AnalyzePair(model.Spec, op, op, Options{Solver: &sym.Solver{MaxSteps: 1}})
 	if len(r.Paths) != 0 {
 		t.Skipf("one-step budget still explored %d paths; test needs a harsher setup", len(r.Paths))
 	}

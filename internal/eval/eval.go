@@ -14,11 +14,11 @@ import (
 	"repro/internal/analyzer"
 	"repro/internal/coherence"
 	"repro/internal/kernel"
-	"repro/internal/kernel/monokernel"
 	"repro/internal/kernel/svsix"
 	"repro/internal/mail"
-	"repro/internal/model"
+	_ "repro/internal/model" // registers the "posix" spec
 	"repro/internal/mtrace"
+	"repro/internal/spec"
 	"repro/internal/sweep"
 	"repro/internal/testgen"
 )
@@ -257,7 +257,10 @@ type MatrixCell struct {
 // Matrix is a Figure 6 half-matrix for one kernel.
 type Matrix struct {
 	Kernel string
-	Cells  []MatrixCell
+	// Spec names the interface specification the matrix covers; it fixes
+	// the row/column order ("" falls back to posix for pre-spec callers).
+	Spec  string
+	Cells []MatrixCell
 }
 
 // Totals sums tests and non-conflict-free tests.
@@ -269,15 +272,38 @@ func (m Matrix) Totals() (total, conflicted int) {
 	return
 }
 
-// NewKernelFunc returns a fresh-kernel constructor by name.
-func NewKernelFunc(name string) func() kernel.Kernel {
-	switch name {
-	case "linux":
-		return func() kernel.Kernel { return monokernel.New() }
-	case "sv6":
-		return func() kernel.Kernel { return svsix.New() }
+// ImplSpecs resolves implementation names against one spec's bindings,
+// returning them as sweep kernel specs; with no names it returns all of
+// the spec's implementations in their default order. Names are
+// deduplicated preserving first-appearance order (a repeated name must
+// not double-count every matrix cell); unknown names error with the
+// spec's known implementations.
+func ImplSpecs(sp spec.Spec, names ...string) ([]sweep.KernelSpec, error) {
+	impls := sp.Impls()
+	byName := make(map[string]spec.Impl, len(impls))
+	known := make([]string, len(impls))
+	for i, im := range impls {
+		byName[im.Name] = im
+		known[i] = im.Name
 	}
-	panic("eval: unknown kernel " + name)
+	if len(names) == 0 {
+		names = known
+	}
+	out := make([]sweep.KernelSpec, 0, len(names))
+	seen := map[string]bool{}
+	for _, n := range names {
+		im, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("spec %s has no implementation %q (known: %s)",
+				sp.Name(), n, strings.Join(known, ", "))
+		}
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		out = append(out, sweep.KernelSpec{Name: im.Name, New: im.New})
+	}
+	return out, nil
 }
 
 // PairTests is the ANALYZE → TESTGEN outcome for one pair: the generated
@@ -295,7 +321,7 @@ type PairTests struct {
 // progress callbacks are serialized but arrive in completion order. A
 // caller-provided Solver in either option struct forces sequential
 // execution, since solvers are not safe to share.
-func GenerateAllTests(ops []*model.OpDef, aOpt analyzer.Options, gOpt testgen.Options, progress func(pair string, n int)) map[[2]string]PairTests {
+func GenerateAllTests(sp spec.Spec, ops []*spec.Op, aOpt analyzer.Options, gOpt testgen.Options, progress func(pair string, n int)) map[[2]string]PairTests {
 	jobs := sweep.Pairs(ops)
 	workers := 0
 	if aOpt.Solver != nil || gOpt.Solver != nil {
@@ -305,8 +331,8 @@ func GenerateAllTests(ops []*model.OpDef, aOpt analyzer.Options, gOpt testgen.Op
 	tests := make([]PairTests, len(jobs))
 	var mu sync.Mutex
 	sweep.Parallel(len(jobs), workers, func(i int) {
-		pr := analyzer.AnalyzePair(jobs[i][0], jobs[i][1], aOpt)
-		ts, truncated := testgen.GenerateChecked(pr, gOpt)
+		pr := analyzer.AnalyzePair(sp, jobs[i][0], jobs[i][1], aOpt)
+		ts, truncated := testgen.GenerateChecked(sp, pr, gOpt)
 		names[i] = [2]string{pr.OpA, pr.OpB}
 		tests[i] = PairTests{Tests: ts, Unknown: pr.Unknown() + truncated}
 		if progress != nil {
@@ -326,8 +352,15 @@ func GenerateAllTests(ops []*model.OpDef, aOpt analyzer.Options, gOpt testgen.Op
 // checking pairs in parallel on the sweep engine's worker pool. Each check
 // builds fresh kernel instances with their own traced memory, so pairs
 // never share state.
-func CheckMatrix(kernelName string, tests map[[2]string]PairTests) (Matrix, error) {
-	fresh := NewKernelFunc(kernelName)
+func CheckMatrix(sp spec.Spec, kernelName string, tests map[[2]string]PairTests) (Matrix, error) {
+	// Resolve the implementation within the spec's own bindings, so a
+	// spec/kernel mismatch fails here with the known implementations
+	// listed instead of at Exec time deep inside a worker.
+	impls, err := ImplSpecs(sp, kernelName)
+	if err != nil {
+		return Matrix{Kernel: kernelName, Spec: sp.Name()}, err
+	}
+	fresh := impls[0].New
 	var pairs [][2]string
 	for p := range tests {
 		pairs = append(pairs, p)
@@ -356,20 +389,24 @@ func CheckMatrix(kernelName string, tests map[[2]string]PairTests) (Matrix, erro
 	})
 	for _, err := range errs {
 		if err != nil {
-			return Matrix{Kernel: kernelName}, err
+			return Matrix{Kernel: kernelName, Spec: sp.Name()}, err
 		}
 	}
-	return Matrix{Kernel: kernelName, Cells: cells}, nil
+	return Matrix{Kernel: kernelName, Spec: sp.Name(), Cells: cells}, nil
 }
 
-// SweepKernels returns the standard two-kernel universe as sweep specs.
+// SweepKernels returns posix implementation bindings as sweep specs (all
+// of them when no names are given). It is the posix shorthand over
+// ImplSpecs, keeping that function the single kernel-name resolver; an
+// unknown name panics, preserving this helper's historical contract.
 func SweepKernels(kernelNames ...string) []sweep.KernelSpec {
-	if len(kernelNames) == 0 {
-		kernelNames = []string{"linux", "sv6"}
+	posix, err := spec.Lookup("posix")
+	if err != nil {
+		panic("eval: " + err.Error())
 	}
-	specs := make([]sweep.KernelSpec, len(kernelNames))
-	for i, n := range kernelNames {
-		specs[i] = sweep.KernelSpec{Name: n, New: NewKernelFunc(n)}
+	specs, err := ImplSpecs(posix, kernelNames...)
+	if err != nil {
+		panic("eval: " + err.Error())
 	}
 	return specs
 }
@@ -390,6 +427,7 @@ func MatricesFromSweep(res *sweep.Result) []Matrix {
 	ms := make([]Matrix, len(order))
 	for i, n := range order {
 		ms[i].Kernel = n
+		ms[i].Spec = res.Spec
 	}
 	for _, p := range res.Pairs {
 		for _, c := range p.Cells {
@@ -461,9 +499,26 @@ func FormatMatrix(m Matrix) string {
 }
 
 func opOrder(m Matrix) []string {
-	want := []string{}
-	for _, op := range model.Ops() {
-		want = append(want, op.Name)
+	specName := m.Spec
+	if specName == "" {
+		specName = "posix"
+	}
+	var want []string
+	if sp, err := spec.Lookup(specName); err == nil {
+		want = spec.OpNames(sp)
+	} else {
+		// Unknown spec: fall back to the cells' own (sorted) op names so
+		// the matrix still renders.
+		seen := map[string]bool{}
+		for _, c := range m.Cells {
+			for _, n := range []string{c.OpA, c.OpB} {
+				if !seen[n] {
+					seen[n] = true
+					want = append(want, n)
+				}
+			}
+		}
+		sort.Strings(want)
 	}
 	present := map[string]bool{}
 	for _, c := range m.Cells {

@@ -28,7 +28,7 @@ func TestGenerationCounts(t *testing.T) {
 	if testing.Short() {
 		t.Skip("matrix generation in -short mode")
 	}
-	tests := GenerateAllTests(fsSubset(), analyzer.Options{}, testgen.Options{MaxTestsPerPath: 4}, nil)
+	tests := GenerateAllTests(model.Spec, fsSubset(), analyzer.Options{}, testgen.Options{MaxTestsPerPath: 4}, nil)
 	total := 0
 	for _, ts := range tests {
 		total += len(ts.Tests)
@@ -53,10 +53,10 @@ func TestSweepMatchesMatrix(t *testing.T) {
 		t.Skip("sweep pipeline in -short mode")
 	}
 	ops := []*model.OpDef{model.OpByName("stat"), model.OpByName("lseek"), model.OpByName("close")}
-	tests := GenerateAllTests(ops, analyzer.Options{}, testgen.Options{}, nil)
+	tests := GenerateAllTests(model.Spec, ops, analyzer.Options{}, testgen.Options{}, nil)
 	var want []Matrix
 	for _, kn := range []string{"linux", "sv6"} {
-		m, err := CheckMatrix(kn, tests)
+		m, err := CheckMatrix(model.Spec, kn, tests)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -81,13 +81,13 @@ func TestFigure6Headline(t *testing.T) {
 	if testing.Short() {
 		t.Skip("matrix check in -short mode")
 	}
-	tests := GenerateAllTests(fsSubset(), analyzer.Options{}, testgen.Options{MaxTestsPerPath: 4}, nil)
+	tests := GenerateAllTests(model.Spec, fsSubset(), analyzer.Options{}, testgen.Options{MaxTestsPerPath: 4}, nil)
 
-	linux, err := CheckMatrix("linux", tests)
+	linux, err := CheckMatrix(model.Spec, "linux", tests)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sv6, err := CheckMatrix("sv6", tests)
+	sv6, err := CheckMatrix(model.Spec, "sv6", tests)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -129,13 +129,26 @@ type SetupVMA struct {
 	Foff     int64
 }
 
-// Setup is the concrete initial state of a test case.
+// SetupQueue seeds one message queue of the queue spec's reference
+// implementation. Core -1 is the shared ordered queue; Core >= 0 seeds
+// one per-core unordered queue. Items are queued page tokens, oldest
+// first.
+type SetupQueue struct {
+	Core  int64
+	Items []int64
+}
+
+// Setup is the concrete initial state of a test case. The fs/VM fields
+// are consumed by the POSIX kernels; Queues by the queue spec's reference
+// implementation — each implementation ignores the fields of interfaces
+// it does not provide.
 type Setup struct {
 	Files  []SetupFile
 	Inodes []SetupInode
 	FDs    []SetupFD
 	Pipes  []SetupPipe
 	VMAs   []SetupVMA
+	Queues []SetupQueue `json:",omitempty"`
 }
 
 // TestCase is one generated commutative test: after Setup, the two Calls

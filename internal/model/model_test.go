@@ -3,6 +3,7 @@ package model
 import (
 	"testing"
 
+	"repro/internal/spec"
 	"repro/internal/sym"
 	"repro/internal/symx"
 )
@@ -40,8 +41,8 @@ func runOp(t *testing.T, name string, cfg Config) []symx.Path {
 	return symx.Run(func(c *symx.Context) any {
 		args := MakeArgs(c, op, "0")
 		s := NewState(c)
-		m := &M{C: c, S: s, Cfg: cfg}
-		return op.Exec(m, "0", args)
+		x := &spec.Exec{C: c, S: s, Cfg: cfg}
+		return op.Exec(x, "0", args)
 	}, symx.Options{})
 }
 

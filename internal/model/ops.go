@@ -1,44 +1,48 @@
 package model
 
 import (
+	"repro/internal/spec"
 	"repro/internal/sym"
 	"repro/internal/symx"
 )
 
-// Config selects specification variants for the model. The default (zero)
-// Config embraces specification nondeterminism per §4 of the paper: FD
-// allocation may return any unused descriptor. Setting LowestFD restores
-// POSIX's "lowest available FD" rule so ANALYZER can demonstrate the
-// commutativity it destroys.
-type Config struct {
-	// LowestFD enforces POSIX's lowest-available-FD allocation rule.
-	LowestFD bool
-}
+// Config selects specification variants for the model; it is the spec
+// layer's shared configuration. The default (zero) Config embraces
+// specification nondeterminism per §4 of the paper: FD allocation may
+// return any unused descriptor. Setting LowestFD restores POSIX's "lowest
+// available FD" rule so ANALYZER can demonstrate the commutativity it
+// destroys.
+type Config = spec.Config
 
-// RetWidth is the uniform return-vector width of every operation:
-// [code, i1, i2, i3, data]. code is 0/positive on success or a negated
-// errno; unused slots are zero.
-const RetWidth = 5
+// RetWidth is the uniform return-vector width of every operation.
+const RetWidth = spec.RetWidth
 
 // ArgSpec describes one symbolic operation argument.
-type ArgSpec struct {
-	// Name is the argument name; instances are "<op>.<slot>.<name>".
-	Name string
-	// Sort of the argument.
-	Sort sym.Sort
-	// Min and Max bound integer arguments (inclusive) when Bounded.
-	Min, Max int64
-	Bounded  bool
-}
+type ArgSpec = spec.ArgSpec
 
-// OpDef defines one modeled system call.
-type OpDef struct {
+// OpDef is the spec layer's operation type; the POSIX calls are written
+// against the richer M context below and adapted by def.
+type OpDef = spec.Op
+
+// opDef is the POSIX-local definition of one modeled system call.
+type opDef struct {
 	// Name matches the Figure 6 row/column labels.
 	Name string
 	// Args are the symbolic arguments.
 	Args []ArgSpec
 	// Exec runs the call against m's state, returning a RetWidth vector.
 	Exec func(m *M, slot string, args []*sym.Expr) []*sym.Expr
+}
+
+// def adapts a POSIX-local definition to the spec layer's Exec signature.
+func def(d *opDef) *spec.Op {
+	return &spec.Op{
+		Name: d.Name,
+		Args: d.Args,
+		Exec: func(x *spec.Exec, slot string, args []*sym.Expr) []*sym.Expr {
+			return d.Exec(&M{C: x.C, S: x.S.(*State), Cfg: x.Cfg}, slot, args)
+		},
+	}
 }
 
 // M bundles the execution context for one permutation run.
@@ -51,15 +55,7 @@ type M struct {
 // MakeArgs materializes the symbolic arguments of op for an operation slot,
 // applying declared bounds.
 func MakeArgs(c *symx.Context, op *OpDef, slot string) []*sym.Expr {
-	args := make([]*sym.Expr, len(op.Args))
-	for i, spec := range op.Args {
-		v := c.Var(op.Name+"."+slot+"."+spec.Name, spec.Sort, symx.KindArg)
-		if spec.Bounded {
-			c.Assume(sym.And(sym.Ge(v, sym.Int(spec.Min)), sym.Le(v, sym.Int(spec.Max))))
-		}
-		args[i] = v
-	}
-	return args
+	return spec.MakeArgs(c, op, slot)
 }
 
 func errRet(errno int64) []*sym.Expr {
@@ -79,16 +75,7 @@ func dataRet(code int64, d *sym.Expr) []*sym.Expr {
 }
 
 // RetEq builds the formula stating two return vectors are equal.
-func RetEq(a, b []*sym.Expr) *sym.Expr {
-	if len(a) != len(b) {
-		panic("model: return width mismatch")
-	}
-	conj := make([]*sym.Expr, len(a))
-	for i := range a {
-		conj[i] = sym.Eq(a[i], b[i])
-	}
-	return sym.And(conj...)
-}
+func RetEq(a, b []*sym.Expr) *sym.Expr { return spec.RetEq(a, b) }
 
 // allocFD picks a descriptor for a new open file. In LowestFD mode it scans
 // for the lowest free slot (nil when the table is full); otherwise it is an
@@ -122,14 +109,21 @@ func pipeFD(pipe *sym.Expr, wend bool) *symx.Struct {
 
 // Ops returns the 18 modeled POSIX operations, in Figure 6 order.
 func Ops() []*OpDef {
-	return []*OpDef{
+	defs := []*opDef{
 		opOpen(), opLink(), opUnlink(), opRename(), opStat(), opFstat(),
 		opLseek(), opClose(), opPipe(), opRead(), opWrite(), opPread(),
 		opPwrite(), opMmap(), opMunmap(), opMprotect(), opMemread(), opMemwrite(),
 	}
+	out := make([]*OpDef, len(defs))
+	for i, d := range defs {
+		out[i] = def(d)
+	}
+	return out
 }
 
-// OpByName returns the operation definition with the given name.
+// OpByName returns the operation definition with the given name, or nil
+// when unknown. Callers wanting a diagnostic error should resolve through
+// the spec registry (spec.OpByName) instead.
 func OpByName(name string) *OpDef {
 	for _, op := range Ops() {
 		if op.Name == name {
@@ -150,8 +144,8 @@ func offArg(name string) ArgSpec {
 	return ArgSpec{Name: name, Sort: sym.IntSort, Min: 0, Max: MaxLen, Bounded: true}
 }
 
-func opOpen() *OpDef {
-	return &OpDef{
+func opOpen() *opDef {
+	return &opDef{
 		Name: "open",
 		Args: []ArgSpec{
 			procArg(),
@@ -191,8 +185,8 @@ func opOpen() *OpDef {
 	}
 }
 
-func opLink() *OpDef {
-	return &OpDef{
+func opLink() *opDef {
+	return &opDef{
 		Name: "link",
 		Args: []ArgSpec{
 			{Name: "old", Sort: FilenameSort},
@@ -216,8 +210,8 @@ func opLink() *OpDef {
 	}
 }
 
-func opUnlink() *OpDef {
-	return &OpDef{
+func opUnlink() *opDef {
+	return &opDef{
 		Name: "unlink",
 		Args: []ArgSpec{{Name: "fname", Sort: FilenameSort}},
 		Exec: func(m *M, slot string, a []*sym.Expr) []*sym.Expr {
@@ -236,8 +230,8 @@ func opUnlink() *OpDef {
 }
 
 // opRename mirrors Figure 4 of the paper.
-func opRename() *OpDef {
-	return &OpDef{
+func opRename() *opDef {
+	return &opDef{
 		Name: "rename",
 		Args: []ArgSpec{
 			{Name: "src", Sort: FilenameSort},
@@ -265,8 +259,8 @@ func opRename() *OpDef {
 	}
 }
 
-func opStat() *OpDef {
-	return &OpDef{
+func opStat() *opDef {
+	return &opDef{
 		Name: "stat",
 		Args: []ArgSpec{{Name: "fname", Sort: FilenameSort}},
 		Exec: func(m *M, slot string, a []*sym.Expr) []*sym.Expr {
@@ -281,8 +275,8 @@ func opStat() *OpDef {
 	}
 }
 
-func opFstat() *OpDef {
-	return &OpDef{
+func opFstat() *opDef {
+	return &opDef{
 		Name: "fstat",
 		Args: []ArgSpec{procArg(), fdArg()},
 		Exec: func(m *M, slot string, a []*sym.Expr) []*sym.Expr {
@@ -305,8 +299,8 @@ func opFstat() *OpDef {
 	}
 }
 
-func opLseek() *OpDef {
-	return &OpDef{
+func opLseek() *opDef {
+	return &opDef{
 		Name: "lseek",
 		Args: []ArgSpec{
 			procArg(), fdArg(),
@@ -342,8 +336,8 @@ func opLseek() *OpDef {
 	}
 }
 
-func opClose() *OpDef {
-	return &OpDef{
+func opClose() *opDef {
+	return &opDef{
 		Name: "close",
 		Args: []ArgSpec{procArg(), fdArg()},
 		Exec: func(m *M, slot string, a []*sym.Expr) []*sym.Expr {
@@ -357,8 +351,8 @@ func opClose() *OpDef {
 	}
 }
 
-func opPipe() *OpDef {
-	return &OpDef{
+func opPipe() *opDef {
+	return &opDef{
 		Name: "pipe",
 		Args: []ArgSpec{procArg()},
 		Exec: func(m *M, slot string, a []*sym.Expr) []*sym.Expr {
@@ -382,8 +376,8 @@ func opPipe() *OpDef {
 	}
 }
 
-func opRead() *OpDef {
-	return &OpDef{
+func opRead() *opDef {
+	return &opDef{
 		Name: "read",
 		Args: []ArgSpec{procArg(), fdArg()},
 		Exec: func(m *M, slot string, a []*sym.Expr) []*sym.Expr {
@@ -418,8 +412,8 @@ func opRead() *OpDef {
 	}
 }
 
-func opWrite() *OpDef {
-	return &OpDef{
+func opWrite() *opDef {
+	return &opDef{
 		Name: "write",
 		Args: []ArgSpec{procArg(), fdArg(), {Name: "val", Sort: DataSort}},
 		Exec: func(m *M, slot string, a []*sym.Expr) []*sym.Expr {
@@ -454,8 +448,8 @@ func opWrite() *OpDef {
 	}
 }
 
-func opPread() *OpDef {
-	return &OpDef{
+func opPread() *opDef {
+	return &opDef{
 		Name: "pread",
 		Args: []ArgSpec{procArg(), fdArg(), offArg("off")},
 		Exec: func(m *M, slot string, a []*sym.Expr) []*sym.Expr {
@@ -477,8 +471,8 @@ func opPread() *OpDef {
 	}
 }
 
-func opPwrite() *OpDef {
-	return &OpDef{
+func opPwrite() *opDef {
+	return &opDef{
 		Name: "pwrite",
 		Args: []ArgSpec{procArg(), fdArg(), offArg("off"), {Name: "val", Sort: DataSort}},
 		Exec: func(m *M, slot string, a []*sym.Expr) []*sym.Expr {
@@ -502,8 +496,8 @@ func opPwrite() *OpDef {
 	}
 }
 
-func opMmap() *OpDef {
-	return &OpDef{
+func opMmap() *opDef {
+	return &opDef{
 		Name: "mmap",
 		Args: []ArgSpec{
 			procArg(), pageArg("page"),
@@ -544,8 +538,8 @@ func opMmap() *OpDef {
 	}
 }
 
-func opMunmap() *OpDef {
-	return &OpDef{
+func opMunmap() *opDef {
+	return &opDef{
 		Name: "munmap",
 		Args: []ArgSpec{procArg(), pageArg("page")},
 		Exec: func(m *M, slot string, a []*sym.Expr) []*sym.Expr {
@@ -557,8 +551,8 @@ func opMunmap() *OpDef {
 	}
 }
 
-func opMprotect() *OpDef {
-	return &OpDef{
+func opMprotect() *opDef {
+	return &opDef{
 		Name: "mprotect",
 		Args: []ArgSpec{procArg(), pageArg("page"), {Name: "wr", Sort: sym.BoolSort}},
 		Exec: func(m *M, slot string, a []*sym.Expr) []*sym.Expr {
@@ -573,8 +567,8 @@ func opMprotect() *OpDef {
 	}
 }
 
-func opMemread() *OpDef {
-	return &OpDef{
+func opMemread() *opDef {
+	return &opDef{
 		Name: "memread",
 		Args: []ArgSpec{procArg(), pageArg("page")},
 		Exec: func(m *M, slot string, a []*sym.Expr) []*sym.Expr {
@@ -597,8 +591,8 @@ func opMemread() *OpDef {
 	}
 }
 
-func opMemwrite() *OpDef {
-	return &OpDef{
+func opMemwrite() *opDef {
+	return &opDef{
 		Name: "memwrite",
 		Args: []ArgSpec{procArg(), pageArg("page"), {Name: "val", Sort: DataSort}},
 		Exec: func(m *M, slot string, a []*sym.Expr) []*sym.Expr {

@@ -11,6 +11,7 @@
 package model
 
 import (
+	"repro/internal/spec"
 	"repro/internal/sym"
 	"repro/internal/symx"
 )
@@ -153,11 +154,12 @@ func NewState(c *symx.Context) *State {
 	return s
 }
 
-// dicts returns the state dictionaries in comparison order. Fname, FD and
-// VMA come before Inode/Data because their invariant closures may probe the
-// inode table; comparing dependents first keeps late materialization from
-// racing the comparison of the tables they reference.
-func (s *State) dicts() []*symx.Dict {
+// Dicts returns the state dictionaries in comparison order (the spec
+// layer's State contract). Fname, FD and VMA come before Inode/Data
+// because their invariant closures may probe the inode table; comparing
+// dependents first keeps late materialization from racing the comparison
+// of the tables they reference.
+func (s *State) Dicts() []*symx.Dict {
 	return []*symx.Dict{s.Fname, s.FD, s.VMA, s.Pipe, s.PipeD, s.Anon, s.Inode, s.Data}
 }
 
@@ -165,12 +167,7 @@ func (s *State) dicts() []*symx.Dict {
 // indistinguishable through the interface: every dictionary holds equal
 // content at every key either execution touched.
 func Equivalent(c *symx.Context, a, b *State) *sym.Expr {
-	da, db := a.dicts(), b.dicts()
-	conj := make([]*sym.Expr, len(da))
-	for i := range da {
-		conj[i] = symx.DictsEquivalent(c, da[i], db[i])
-	}
-	return sym.And(conj...)
+	return spec.Equivalent(c, a, b)
 }
 
 // AllocInum returns a fresh, nondeterministically chosen inode number for

@@ -1,0 +1,90 @@
+package spec_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/queuespec"
+	"repro/internal/spec"
+)
+
+// TestRegisteredSpecs pins the two shipped registrations.
+func TestRegisteredSpecs(t *testing.T) {
+	names := spec.Names()
+	want := map[string]bool{"posix": false, "queue": false}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Errorf("spec %q not registered (have %v)", n, names)
+		}
+	}
+	if _, err := spec.Lookup("posix"); err != nil {
+		t.Errorf("Lookup(posix): %v", err)
+	}
+	if _, err := spec.Lookup("nope"); err == nil {
+		t.Error("Lookup(nope) did not error")
+	} else if !strings.Contains(err.Error(), "posix") || !strings.Contains(err.Error(), "queue") {
+		t.Errorf("Lookup(nope) error %q does not list known specs", err)
+	}
+}
+
+// TestOpByNameRoundTrip pins that every op of every shipped spec resolves
+// back to itself by name, and that unknown names produce an error listing
+// the full op universe (the nil-deref fix: lookups now fail loudly with
+// guidance instead of returning nil).
+func TestOpByNameRoundTrip(t *testing.T) {
+	for _, sp := range []spec.Spec{model.Spec, queuespec.Spec} {
+		ops := sp.Ops()
+		if len(ops) == 0 {
+			t.Fatalf("%s: no ops", sp.Name())
+		}
+		for _, op := range ops {
+			got, err := spec.OpByName(sp, op.Name)
+			if err != nil {
+				t.Errorf("%s: OpByName(%s): %v", sp.Name(), op.Name, err)
+				continue
+			}
+			if got.Name != op.Name {
+				t.Errorf("%s: OpByName(%s) returned %s", sp.Name(), op.Name, got.Name)
+			}
+		}
+		_, err := spec.OpByName(sp, "renme")
+		if err == nil {
+			t.Fatalf("%s: OpByName(renme) did not error", sp.Name())
+		}
+		for _, op := range ops {
+			if !strings.Contains(err.Error(), op.Name) {
+				t.Errorf("%s: unknown-op error %q does not list %s", sp.Name(), err, op.Name)
+			}
+		}
+	}
+}
+
+// TestOpSetSelectors pins the universe selectors: "all", the spec-named
+// subsets, comma lists with dedupe, and the error path.
+func TestOpSetSelectors(t *testing.T) {
+	if ops, err := spec.OpSet(model.Spec, "all"); err != nil || len(ops) != 18 {
+		t.Errorf(`posix "all" = %d ops, err %v; want 18`, len(ops), err)
+	}
+	if ops, err := spec.OpSet(model.Spec, "fs"); err != nil || len(ops) != 9 {
+		t.Errorf(`posix "fs" = %d ops, err %v; want 9`, len(ops), err)
+	}
+	if ops, err := spec.OpSet(queuespec.Spec, "all"); err != nil || len(ops) != 5 {
+		t.Errorf(`queue "all" = %d ops, err %v; want 5`, len(ops), err)
+	}
+	if ops, err := spec.OpSet(queuespec.Spec, "ordered"); err != nil || len(ops) != 3 {
+		t.Errorf(`queue "ordered" = %d ops, err %v; want 3`, len(ops), err)
+	}
+	ops, err := spec.OpSet(model.Spec, "open, rename ,open")
+	if err != nil || len(ops) != 2 || ops[0].Name != "open" || ops[1].Name != "rename" {
+		t.Errorf("comma list resolved to %v, err %v", ops, err)
+	}
+	if _, err := spec.OpSet(model.Spec, "open,nope"); err == nil {
+		t.Error("unknown comma-list op did not error")
+	}
+}

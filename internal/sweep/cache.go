@@ -37,20 +37,22 @@ import (
 // older code version are recomputed instead of trusted. Version 2
 // introduced the two-tier layout; version 3 accompanies the hash-consed
 // symbolic engine (canonicalization changed the shape of generated
-// conditions, and with them the test sets entries store). Older-version
-// entries are simply never matched again.
-const CacheVersion = 3
+// conditions, and with them the test sets entries store); version 4
+// accompanies the pluggable spec layer — keys now fold in the spec name,
+// so specs sharing one cache directory can never serve each other's
+// entries. Older-version entries are simply never matched again.
+const CacheVersion = 4
 
 // TestgenKey derives the content address of the kernel-independent phase:
-// the test cases ANALYZE → TESTGEN produces for one pair. The encoding is
-// an explicit field-by-field string (not struct marshaling) so the key is
-// stable across runs and robust to field reordering; solvers are
-// deliberately excluded because complete results don't depend on them,
-// and incomplete (budget-truncated) results are never stored (see
-// runPair). Zero-value options are normalized to the defaults
-// the pipeline applies (MaxPaths 4096, MaxTestsPerPath 4), so semantically
-// identical configurations share cache entries.
-func TestgenKey(opA, opB string, aOpt analyzer.Options, gOpt testgen.Options) string {
+// the test cases ANALYZE → TESTGEN produces for one pair of the named
+// spec. The encoding is an explicit field-by-field string (not struct
+// marshaling) so the key is stable across runs and robust to field
+// reordering; solvers are deliberately excluded because complete results
+// don't depend on them, and incomplete (budget-truncated) results are
+// never stored (see runPair). Zero-value options are normalized to the
+// defaults the pipeline applies (MaxPaths 4096, MaxTestsPerPath 4), so
+// semantically identical configurations share cache entries.
+func TestgenKey(specName, opA, opB string, aOpt analyzer.Options, gOpt testgen.Options) string {
 	maxPaths := aOpt.MaxPaths
 	if maxPaths == 0 {
 		maxPaths = 4096
@@ -60,7 +62,7 @@ func TestgenKey(opA, opB string, aOpt analyzer.Options, gOpt testgen.Options) st
 		perPath = 4
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "v%d|tier=testgen|pair=%s,%s", CacheVersion, opA, opB)
+	fmt.Fprintf(&b, "v%d|tier=testgen|spec=%s|pair=%s,%s", CacheVersion, specName, opA, opB)
 	fmt.Fprintf(&b, "|model.lowestfd=%v", aOpt.Config.LowestFD)
 	fmt.Fprintf(&b, "|analyzer.maxpaths=%d", maxPaths)
 	fmt.Fprintf(&b, "|testgen.maxtestsperpath=%d", perPath)

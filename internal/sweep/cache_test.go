@@ -17,7 +17,7 @@ import (
 
 func TestTestgenKeyStability(t *testing.T) {
 	base := func() string {
-		return TestgenKey("open", "rename", analyzer.Options{}, testgen.Options{MaxTestsPerPath: 4})
+		return TestgenKey("posix", "open", "rename", analyzer.Options{}, testgen.Options{MaxTestsPerPath: 4})
 	}
 	k := base()
 	if len(k) != 64 || strings.Trim(k, "0123456789abcdef") != "" {
@@ -29,12 +29,13 @@ func TestTestgenKeyStability(t *testing.T) {
 
 	// Every determining input must move the key.
 	variants := map[string]string{
-		"pair":         TestgenKey("open", "link", analyzer.Options{}, testgen.Options{MaxTestsPerPath: 4}),
-		"pair order":   TestgenKey("rename", "open", analyzer.Options{}, testgen.Options{MaxTestsPerPath: 4}),
-		"model config": TestgenKey("open", "rename", analyzer.Options{Config: model.Config{LowestFD: true}}, testgen.Options{MaxTestsPerPath: 4}),
-		"max paths":    TestgenKey("open", "rename", analyzer.Options{MaxPaths: 128}, testgen.Options{MaxTestsPerPath: 4}),
-		"per path":     TestgenKey("open", "rename", analyzer.Options{}, testgen.Options{MaxTestsPerPath: 8}),
-		"gen lowestfd": TestgenKey("open", "rename", analyzer.Options{}, testgen.Options{MaxTestsPerPath: 4, LowestFD: true}),
+		"pair":         TestgenKey("posix", "open", "link", analyzer.Options{}, testgen.Options{MaxTestsPerPath: 4}),
+		"pair order":   TestgenKey("posix", "rename", "open", analyzer.Options{}, testgen.Options{MaxTestsPerPath: 4}),
+		"model config": TestgenKey("posix", "open", "rename", analyzer.Options{Config: model.Config{LowestFD: true}}, testgen.Options{MaxTestsPerPath: 4}),
+		"max paths":    TestgenKey("posix", "open", "rename", analyzer.Options{MaxPaths: 128}, testgen.Options{MaxTestsPerPath: 4}),
+		"per path":     TestgenKey("posix", "open", "rename", analyzer.Options{}, testgen.Options{MaxTestsPerPath: 8}),
+		"gen lowestfd": TestgenKey("posix", "open", "rename", analyzer.Options{}, testgen.Options{MaxTestsPerPath: 4, LowestFD: true}),
+		"spec":         TestgenKey("queue", "open", "rename", analyzer.Options{}, testgen.Options{MaxTestsPerPath: 4}),
 	}
 	for what, v := range variants {
 		if v == k {
@@ -44,8 +45,8 @@ func TestTestgenKeyStability(t *testing.T) {
 
 	// Zero-value options normalize to the pipeline defaults, so explicit
 	// and implicit defaults share cache entries.
-	zero := TestgenKey("open", "rename", analyzer.Options{}, testgen.Options{})
-	explicit := TestgenKey("open", "rename", analyzer.Options{MaxPaths: 4096}, testgen.Options{MaxTestsPerPath: 4})
+	zero := TestgenKey("posix", "open", "rename", analyzer.Options{}, testgen.Options{})
+	explicit := TestgenKey("posix", "open", "rename", analyzer.Options{MaxPaths: 4096}, testgen.Options{MaxTestsPerPath: 4})
 	if zero != explicit {
 		t.Error("explicit defaults produced a different key than zero values")
 	}
@@ -88,7 +89,7 @@ func TestCacheTierRoundTripAndAccounting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tgKey := TestgenKey("open", "rename", analyzer.Options{}, testgen.Options{})
+	tgKey := TestgenKey("posix", "open", "rename", analyzer.Options{}, testgen.Options{})
 	ckKey := CheckKey(tgKey, "sv6")
 
 	if _, ok := c.GetTests(tgKey); ok {
@@ -142,7 +143,7 @@ func TestCacheCorruptionRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tgKey := TestgenKey("close", "close", analyzer.Options{}, testgen.Options{})
+	tgKey := TestgenKey("posix", "close", "close", analyzer.Options{}, testgen.Options{})
 	ckKey := CheckKey(tgKey, "sv6")
 	tests := cachedTests()
 	cell := KernelCell{Kernel: "sv6", Total: 2}

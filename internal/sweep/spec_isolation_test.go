@@ -1,0 +1,71 @@
+package sweep
+
+import (
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/model"
+	"repro/internal/queuespec"
+	"repro/internal/spec"
+)
+
+// TestCacheIsolatesSpecs pins the spec-identity plumbing of the cache
+// keys: two specs sharing one cache directory never serve each other's
+// entries. A queue sweep after a warm posix sweep is fully cold (and vice
+// versa), while each spec's own rerun is fully warm — so a shared cache
+// costs nothing in correctness and loses nothing in incrementality.
+func TestCacheIsolatesSpecs(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	posixOps, err := spec.OpSet(model.Spec, "stat,close")
+	if err != nil {
+		t.Fatal(err)
+	}
+	queueOps, err := spec.OpSet(queuespec.Spec, "send_any,recv_any")
+	if err != nil {
+		t.Fatal(err)
+	}
+	posixCfg := Config{Spec: model.Spec, Ops: posixOps, Cache: cache,
+		Kernels: []KernelSpec{implSpec(model.Spec, t)}}
+	queueCfg := Config{Spec: queuespec.Spec, Ops: queueOps, Cache: cache,
+		Kernels: []KernelSpec{implSpec(queuespec.Spec, t)}}
+
+	run := func(what string, cfg Config, wantHits, wantMisses bool) CacheStats {
+		t.Helper()
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", what, err)
+		}
+		st := res.Cache
+		if wantMisses && st.TestgenMisses == 0 {
+			t.Errorf("%s: expected cold TESTGEN tier, got %+v", what, st)
+		}
+		if !wantMisses && st.TestgenMisses != 0 {
+			t.Errorf("%s: expected warm TESTGEN tier, got %+v", what, st)
+		}
+		if wantHits && st.TestgenHits == 0 {
+			t.Errorf("%s: expected TESTGEN hits, got %+v", what, st)
+		}
+		return st
+	}
+
+	run("cold posix", posixCfg, false, true)
+	// The queue spec must not be served posix entries: its first sweep
+	// over the shared directory is fully cold.
+	run("cold queue after warm posix", queueCfg, false, true)
+	// And the queue sweep must not have disturbed posix's entries.
+	run("warm posix", posixCfg, true, false)
+	run("warm queue", queueCfg, true, false)
+}
+
+// implSpec picks a spec's first implementation binding as a sweep kernel.
+func implSpec(sp spec.Spec, t *testing.T) KernelSpec {
+	t.Helper()
+	impls := sp.Impls()
+	if len(impls) == 0 {
+		t.Fatalf("%s: no implementations", sp.Name())
+	}
+	return KernelSpec{Name: impls[0].Name, New: func() kernel.Kernel { return impls[0].New() }}
+}

@@ -22,7 +22,7 @@ import (
 
 	"repro/internal/analyzer"
 	"repro/internal/kernel"
-	"repro/internal/model"
+	"repro/internal/spec"
 	"repro/internal/testgen"
 )
 
@@ -56,10 +56,15 @@ type Event struct {
 
 // Config describes one sweep.
 type Config struct {
+	// Spec is the interface specification the swept ops belong to; nil
+	// selects the registered "posix" spec. The spec's name is folded
+	// into both cache tiers so different specs can share one cache
+	// directory without ever colliding.
+	Spec spec.Spec
 	// Ops is the operation universe; the sweep covers every unordered
 	// pair, oriented like the sequential evaluation path (earlier op
 	// first).
-	Ops []*model.OpDef
+	Ops []*spec.Op
 	// Kernels are the implementations to check each generated test on.
 	Kernels []KernelSpec
 	// Analyzer tunes ANALYZER. A caller-provided Solver disables
@@ -110,6 +115,8 @@ func (p PairResult) Pair() string { return p.OpA + "/" + p.OpB }
 
 // Result is a completed sweep.
 type Result struct {
+	// Spec names the swept interface specification.
+	Spec string
 	// Pairs holds one result per pair, sorted by (OpA, OpB).
 	Pairs []PairResult
 	// Workers is the resolved pool size.
@@ -149,6 +156,13 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Analyzer.Solver != nil || cfg.Testgen.Solver != nil {
 		workers = 1
 	}
+	sp := cfg.Spec
+	if sp == nil {
+		var err error
+		if sp, err = spec.Lookup("posix"); err != nil {
+			return nil, fmt.Errorf("sweep: no spec configured and %w", err)
+		}
+	}
 
 	jobs := Pairs(cfg.Ops)
 
@@ -178,7 +192,7 @@ func Run(cfg Config) (*Result, error) {
 			return
 		}
 		j := jobs[i]
-		pr, err := runPair(j[0], j[1], cfg, &cacheWriteErrs)
+		pr, err := runPair(sp, j[0], j[1], cfg, &cacheWriteErrs)
 		results[i], errs[i] = pr, err
 		if err != nil {
 			failed.Store(true)
@@ -213,7 +227,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
-	res := &Result{Pairs: results, Workers: workers, Elapsed: time.Since(start)}
+	res := &Result{Spec: sp.Name(), Pairs: results, Workers: workers, Elapsed: time.Since(start)}
 	sort.Slice(res.Pairs, func(i, j int) bool {
 		if res.Pairs[i].OpA != res.Pairs[j].OpA {
 			return res.Pairs[i].OpA < res.Pairs[j].OpA
@@ -233,7 +247,7 @@ func Run(cfg Config) (*Result, error) {
 // kernel against the (cached or fresh) tests. Cache writes are
 // best-effort, mirroring the read side's degradation contract: a failed
 // store costs incrementality, never the sweep.
-func runPair(a, b *model.OpDef, cfg Config, cacheWriteErrs *atomic.Int64) (PairResult, error) {
+func runPair(sp spec.Spec, a, b *spec.Op, cfg Config, cacheWriteErrs *atomic.Int64) (PairResult, error) {
 	start := time.Now()
 	out := PairResult{OpA: a.Name, OpB: b.Name}
 
@@ -244,15 +258,15 @@ func runPair(a, b *model.OpDef, cfg Config, cacheWriteErrs *atomic.Int64) (PairR
 		haveTests bool
 	)
 	if cfg.Cache != nil {
-		tgKey = TestgenKey(a.Name, b.Name, cfg.Analyzer, cfg.Testgen)
+		tgKey = TestgenKey(sp.Name(), a.Name, b.Name, cfg.Analyzer, cfg.Testgen)
 		// A hit is complete by construction (truncated results are never
 		// stored below), so unknown stays 0.
 		tests, haveTests = cfg.Cache.GetTests(tgKey)
 	}
 	if !haveTests {
-		pr := analyzer.AnalyzePair(a, b, cfg.Analyzer)
+		pr := analyzer.AnalyzePair(sp, a, b, cfg.Analyzer)
 		var truncated int
-		tests, truncated = testgen.GenerateChecked(pr, cfg.Testgen)
+		tests, truncated = testgen.GenerateChecked(sp, pr, cfg.Testgen)
 		unknown = pr.Unknown() + truncated
 		if cfg.Cache != nil && unknown == 0 {
 			// Budget-truncated results are never stored: the cache key
@@ -309,11 +323,11 @@ func runPair(a, b *model.OpDef, cfg Config, cacheWriteErrs *atomic.Int64) (PairR
 // pipeline depends on — earlier op first, matching the original sequential
 // evaluation loop — so cache keys and matrix cells agree across every path
 // that fans out over pairs.
-func Pairs(ops []*model.OpDef) [][2]*model.OpDef {
-	var out [][2]*model.OpDef
+func Pairs(ops []*spec.Op) [][2]*spec.Op {
+	var out [][2]*spec.Op
 	for i, a := range ops {
 		for _, b := range ops[:i+1] {
-			out = append(out, [2]*model.OpDef{b, a})
+			out = append(out, [2]*spec.Op{b, a})
 		}
 	}
 	return out

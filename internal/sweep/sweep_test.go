@@ -43,8 +43,8 @@ func sequentialReference(t testing.TB, ops []*model.OpDef, kernels []KernelSpec)
 	var out []PairResult
 	for i, a := range ops {
 		for _, b := range ops[:i+1] {
-			pr := analyzer.AnalyzePair(b, a, analyzer.Options{})
-			tests := testgen.Generate(pr, testgen.Options{})
+			pr := analyzer.AnalyzePair(model.Spec, b, a, analyzer.Options{})
+			tests := testgen.Generate(model.Spec, pr, testgen.Options{})
 			res := PairResult{OpA: pr.OpA, OpB: pr.OpB, Tests: len(tests)}
 			for _, ks := range kernels {
 				cell := KernelCell{Kernel: ks.Name}

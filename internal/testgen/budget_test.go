@@ -30,13 +30,13 @@ func TestClassFormulaDegenerate(t *testing.T) {
 // pair reports zero truncation.
 func TestGenerateCheckedReportsTruncation(t *testing.T) {
 	op := model.OpByName("stat")
-	pr := analyzer.AnalyzePair(op, op, analyzer.Options{})
+	pr := analyzer.AnalyzePair(model.Spec, op, op, analyzer.Options{})
 	nCommut := len(pr.CommutativePaths())
 	if nCommut == 0 {
 		t.Fatal("stat x stat should have commutative paths")
 	}
 
-	full, truncated := GenerateChecked(pr, Options{})
+	full, truncated := GenerateChecked(model.Spec, pr, Options{})
 	if truncated != 0 {
 		t.Errorf("default budget reported %d truncated paths", truncated)
 	}
@@ -44,7 +44,7 @@ func TestGenerateCheckedReportsTruncation(t *testing.T) {
 		t.Fatal("no tests generated")
 	}
 
-	tiny, truncated := GenerateChecked(pr, Options{Solver: &sym.Solver{MaxSteps: 3}})
+	tiny, truncated := GenerateChecked(model.Spec, pr, Options{Solver: &sym.Solver{MaxSteps: 3}})
 	if truncated == 0 {
 		t.Error("three-step budget truncated no enumerations")
 	}

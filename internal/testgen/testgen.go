@@ -5,15 +5,18 @@
 // and distinct values (isomorphism classes), because different aliasing
 // patterns exercise different data-structure access patterns in an
 // implementation even along one model path.
+//
+// testgen is generic over the interface specification (spec.Spec): the
+// only spec-specific step — turning a solver witness into a concrete
+// initial state — is delegated to the spec's Concretizer.
 package testgen
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/analyzer"
 	"repro/internal/kernel"
-	"repro/internal/model"
+	"repro/internal/spec"
 	"repro/internal/sym"
 	"repro/internal/symx"
 )
@@ -26,15 +29,21 @@ type Options struct {
 	// Solver overrides the default solver.
 	Solver *sym.Solver
 	// LowestFD indicates the model ran under the POSIX lowest-FD rule;
-	// otherwise generated open/pipe calls carry the O_ANYFD flag,
-	// matching the specification nondeterminism the tests assume.
+	// otherwise the posix spec's concretizer marks generated open/pipe
+	// calls with the O_ANYFD flag, matching the specification
+	// nondeterminism the tests assume. (Forwarded to the spec's
+	// Concretizer as spec.Config; other specs ignore it.)
 	LowestFD bool
 }
 
+// Config renders the options as the spec-layer configuration forwarded to
+// the concretizer.
+func (o Options) Config() spec.Config { return spec.Config{LowestFD: o.LowestFD} }
+
 // Generate produces concrete test cases for every commutative path of a
-// pair analysis.
-func Generate(pr analyzer.PairResult, opt Options) []kernel.TestCase {
-	tests, _ := GenerateChecked(pr, opt)
+// pair analysis performed against the spec sp.
+func Generate(sp spec.Spec, pr analyzer.PairResult, opt Options) []kernel.TestCase {
+	tests, _ := GenerateChecked(sp, pr, opt)
 	return tests
 }
 
@@ -43,7 +52,7 @@ func Generate(pr analyzer.PairResult, opt Options) []kernel.TestCase {
 // isomorphism classes (and hence tests) may have been dropped. Callers
 // that report coverage treat such pairs as under-approximated, like the
 // analyzer's Unknown paths.
-func GenerateChecked(pr analyzer.PairResult, opt Options) ([]kernel.TestCase, int) {
+func GenerateChecked(sp spec.Spec, pr analyzer.PairResult, opt Options) ([]kernel.TestCase, int) {
 	maxPer := opt.MaxTestsPerPath
 	if maxPer == 0 {
 		maxPer = 4
@@ -52,6 +61,19 @@ func GenerateChecked(pr analyzer.PairResult, opt Options) ([]kernel.TestCase, in
 	if solver == nil {
 		solver = &sym.Solver{}
 	}
+	// The pair's ops and concretizer are invariant across paths and
+	// tests; resolve them once, not per materialized test.
+	opA, errA := spec.OpByName(sp, pr.OpA)
+	opB, errB := spec.OpByName(sp, pr.OpB)
+	if errA != nil || errB != nil {
+		// The PairResult belongs to a different spec than sp: an API
+		// misuse, not an input condition — fail loudly rather than
+		// silently generating nothing.
+		panic(fmt.Sprintf("testgen: pair %s/%s (spec %q) generated against spec %q",
+			pr.OpA, pr.OpB, pr.Spec, sp.Name()))
+	}
+	ops := [2]*spec.Op{opA, opB}
+	conc := sp.Concretizer()
 	var tests []kernel.TestCase
 	truncated := 0
 	seen := map[string]bool{}
@@ -82,7 +104,7 @@ func GenerateChecked(pr analyzer.PairResult, opt Options) ([]kernel.TestCase, in
 				}
 			}
 			id := fmt.Sprintf("%s_%s_path%d_test%d", pr.OpA, pr.OpB, pi, ti)
-			tc, err := materialize(id, pr, path, m, opt)
+			tc, err := materialize(ops, conc, id, path, m, opt)
 			// Distinct isomorphism classes can materialize identically
 			// when the distinguishing variables don't reach the concrete
 			// state (e.g. content values on error paths); emit one copy.
@@ -167,54 +189,37 @@ func classFormula(m sym.Model, vars []*sym.Expr) *sym.Expr {
 	return sym.And(conj...)
 }
 
-// evalInt evaluates e under m, defaulting to def when m leaves it
-// undetermined (the variable was irrelevant to the condition).
-func evalInt(m sym.Model, e *sym.Expr, def int64) int64 {
-	if v, ok := m.TryEval(e); ok {
-		return v.Int
-	}
-	return def
-}
-
-func evalBool(m sym.Model, e *sym.Expr, def bool) bool {
-	if v, ok := m.TryEval(e); ok {
-		return v.Bool
-	}
-	return def
-}
-
 // materialize renders one satisfying assignment as a concrete test case:
-// concrete arguments for the two calls plus the initial state mined from
-// the union of initial-state probes of both permutations' symbolic states.
-func materialize(id string, pr analyzer.PairResult, path analyzer.PairPath, m sym.Model, opt Options) (kernel.TestCase, error) {
+// concrete arguments for the two calls (an argument named "proc" selects
+// the calling process by convention) plus the initial state mined by the
+// spec's Concretizer from the union of initial-state probes of both
+// permutations' symbolic states.
+func materialize(ops [2]*spec.Op, conc spec.Concretizer, id string, path analyzer.PairPath, m sym.Model, opt Options) (kernel.TestCase, error) {
 	tc := kernel.TestCase{ID: id}
-	ops := [2]*model.OpDef{model.OpByName(pr.OpA), model.OpByName(pr.OpB)}
 	for slot, op := range ops {
 		call := kernel.Call{Op: op.Name, Args: map[string]int64{}}
-		for _, spec := range op.Args {
-			name := fmt.Sprintf("%s.%d.%s", op.Name, slot, spec.Name)
-			v := sym.Var(name, spec.Sort)
+		for _, as := range op.Args {
+			name := fmt.Sprintf("%s.%d.%s", op.Name, slot, as.Name)
+			v := sym.Var(name, as.Sort)
 			switch {
-			case spec.Name == "proc":
-				if evalBool(m, v, false) {
+			case as.Name == "proc":
+				if spec.EvalBool(m, v, false) {
 					call.Proc = 1
 				}
-			case spec.Sort.Kind == sym.KindBool:
-				if evalBool(m, v, false) {
-					call.Args[spec.Name] = 1
+			case as.Sort.Kind == sym.KindBool:
+				if spec.EvalBool(m, v, false) {
+					call.Args[as.Name] = 1
 				} else {
-					call.Args[spec.Name] = 0
+					call.Args[as.Name] = 0
 				}
 			default:
-				call.Args[spec.Name] = evalInt(m, v, max64(spec.Min, 0))
+				call.Args[as.Name] = spec.EvalInt(m, v, max64(as.Min, 0))
 			}
 		}
-		if !opt.LowestFD && (op.Name == "open" || op.Name == "pipe") {
-			call.Args["anyfd"] = 1
-		}
+		conc.FixupCall(opt.Config(), &call)
 		tc.Calls[slot] = call
 	}
-	setup, err := buildSetup(path, m)
+	setup, err := conc.Setup(path.StateA, path.StateB, m)
 	if err != nil {
 		return tc, err
 	}
@@ -227,250 +232,4 @@ func max64(a, b int64) int64 {
 		return a
 	}
 	return b
-}
-
-// probe is one evaluated initial-state dictionary probe.
-type probe struct {
-	key     []int64
-	present bool
-	fields  map[string]int64
-	bools   map[string]bool
-}
-
-// collectProbes evaluates the initial probes of one dictionary from both
-// permutations' states, deduplicating by concrete key.
-func collectProbes(m sym.Model, dicts ...*symx.Dict) []probe {
-	var out []probe
-	seen := map[string]bool{}
-	for _, d := range dicts {
-		for _, e := range d.Entries() {
-			if !e.InitialProbe {
-				continue
-			}
-			key := make([]int64, len(e.Key))
-			ks := ""
-			for i, ke := range e.Key {
-				if ke.Sort.Kind == sym.KindBool {
-					if evalBool(m, ke, false) {
-						key[i] = 1
-					}
-				} else {
-					key[i] = evalInt(m, ke, 0)
-				}
-				ks += fmt.Sprintf(",%d", key[i])
-			}
-			if seen[ks] {
-				continue
-			}
-			seen[ks] = true
-			p := probe{key: key, fields: map[string]int64{}, bools: map[string]bool{}}
-			if e.InitPresentVar != nil {
-				p.present = evalBool(m, e.InitPresentVar, false)
-			} else {
-				p.present = true // total-function dictionaries
-			}
-			if p.present && e.InitVal != nil {
-				st := e.InitVal.(*symx.Struct)
-				for name, fe := range st.Fields {
-					if fe.Sort.Kind == sym.KindBool {
-						p.bools[name] = evalBool(m, fe, false)
-					} else {
-						p.fields[name] = evalInt(m, fe, 0)
-					}
-				}
-			}
-			if p.present {
-				out = append(out, p)
-			}
-		}
-	}
-	return out
-}
-
-// buildSetup reconstructs a concrete, realizable initial kernel state from
-// the model assignment. Link counts are realized with hidden extra links
-// (the paper's Figure 5 "__i0" trick) when the probed count exceeds the
-// visible names.
-func buildSetup(path analyzer.PairPath, m sym.Model) (kernel.Setup, error) {
-	var s kernel.Setup
-	sa, sb := path.StateA, path.StateB
-
-	inodeLen := map[int64]int64{}
-	inodeNlink := map[int64]int64{}
-	for _, p := range collectProbes(m, sa.Inode, sb.Inode) {
-		inum := p.key[0]
-		if inum < 1 {
-			continue // allocated during the calls, not initial state
-		}
-		inodeLen[inum] = clamp(p.fields["len"], 0, model.MaxLen)
-		inodeNlink[inum] = clamp(p.fields["nlink"], 0, model.MaxInum)
-	}
-
-	visibleLinks := map[int64]int{}
-	for _, p := range collectProbes(m, sa.Fname, sb.Fname) {
-		name, inum := p.key[0], p.fields["inum"]
-		if inum < 1 {
-			continue
-		}
-		s.Files = append(s.Files, kernel.SetupFile{Name: kernel.Fname(name), Inum: inum})
-		visibleLinks[inum]++
-		if _, ok := inodeLen[inum]; !ok {
-			inodeLen[inum] = 0
-		}
-	}
-
-	pages := map[int64]map[int64]int64{}
-	for _, p := range collectProbes(m, sa.Data, sb.Data) {
-		inum, pg := p.key[0], p.key[1]
-		if inum < 1 || pg < 0 {
-			continue
-		}
-		if _, ok := inodeLen[inum]; !ok {
-			continue // content of a file not otherwise in play
-		}
-		if pg >= inodeLen[inum] {
-			continue // beyond EOF: invisible through the interface
-		}
-		if pages[inum] == nil {
-			pages[inum] = map[int64]int64{}
-		}
-		pages[inum][pg] = p.fields["val"]
-	}
-
-	pipesNeeded := map[int64]bool{}
-	for _, p := range collectProbes(m, sa.FD, sb.FD) {
-		proc, fd := int(p.key[0]), p.key[1]
-		if fd < 0 {
-			continue
-		}
-		sd := kernel.SetupFD{Proc: proc, FD: fd}
-		if p.bools["ispipe"] {
-			sd.Pipe = true
-			sd.PipeID = p.fields["pipe"]
-			sd.WriteEnd = p.bools["wend"]
-			if sd.PipeID >= 1 {
-				pipesNeeded[sd.PipeID] = true
-			}
-		} else {
-			sd.Inum = p.fields["inum"]
-			sd.Off = clamp(p.fields["off"], 0, model.MaxLen)
-			if sd.Inum >= 1 {
-				if _, ok := inodeLen[sd.Inum]; !ok {
-					inodeLen[sd.Inum] = 0
-				}
-			}
-		}
-		s.FDs = append(s.FDs, sd)
-	}
-
-	pipeMeta := map[int64][2]int64{}
-	for _, p := range collectProbes(m, sa.Pipe, sb.Pipe) {
-		id := p.key[0]
-		if id < 1 {
-			continue
-		}
-		h := clamp(p.fields["head"], 0, model.MaxLen)
-		t := clamp(p.fields["tail"], h, model.MaxLen)
-		pipeMeta[id] = [2]int64{h, t}
-		pipesNeeded[id] = true
-	}
-	pipeVals := map[int64]map[int64]int64{}
-	for _, p := range collectProbes(m, sa.PipeD, sb.PipeD) {
-		id, seq := p.key[0], p.key[1]
-		if id < 1 {
-			continue
-		}
-		if pipeVals[id] == nil {
-			pipeVals[id] = map[int64]int64{}
-		}
-		pipeVals[id][seq] = p.fields["val"]
-	}
-	for id := range pipesNeeded {
-		meta := pipeMeta[id]
-		var items []int64
-		for seq := meta[0]; seq < meta[1]; seq++ {
-			items = append(items, pipeVals[id][seq])
-		}
-		s.Pipes = append(s.Pipes, kernel.SetupPipe{ID: id, Items: items})
-	}
-
-	anonVals := map[[2]int64]int64{}
-	for _, p := range collectProbes(m, sa.Anon, sb.Anon) {
-		anonVals[[2]int64{p.key[0], p.key[1]}] = p.fields["val"]
-	}
-	for _, p := range collectProbes(m, sa.VMA, sb.VMA) {
-		proc, page := p.key[0], p.key[1]
-		if page < 0 {
-			continue
-		}
-		sv := kernel.SetupVMA{
-			Proc: int(proc), Page: page,
-			Anon:     p.bools["anon"],
-			Writable: p.bools["wr"],
-		}
-		if sv.Anon {
-			sv.Val = anonVals[[2]int64{proc, page}]
-		} else {
-			sv.Inum = p.fields["inum"]
-			sv.Foff = clamp(p.fields["foff"], 0, model.MaxLen)
-			if sv.Inum >= 1 {
-				if _, ok := inodeLen[sv.Inum]; !ok {
-					inodeLen[sv.Inum] = 0
-				}
-			}
-		}
-		s.VMAs = append(s.VMAs, sv)
-	}
-
-	inums := make([]int64, 0, len(inodeLen))
-	for inum := range inodeLen {
-		inums = append(inums, inum)
-	}
-	sort.Slice(inums, func(i, j int) bool { return inums[i] < inums[j] })
-	for _, inum := range inums {
-		extra := 0
-		if want, ok := inodeNlink[inum]; ok {
-			if d := int(want) - visibleLinks[inum]; d > 0 {
-				extra = d
-			}
-		}
-		s.Inodes = append(s.Inodes, kernel.SetupInode{
-			Inum:       inum,
-			ExtraLinks: extra,
-			Len:        inodeLen[inum],
-			Pages:      pages[inum],
-		})
-	}
-	sortSetup(&s)
-	return s, nil
-}
-
-func clamp(v, lo, hi int64) int64 {
-	if v < lo {
-		return lo
-	}
-	if v > hi {
-		return hi
-	}
-	return v
-}
-
-// sortSetup fixes deterministic ordering for reproducible output.
-func sortSetup(s *kernel.Setup) {
-	sort.Slice(s.Files, func(i, j int) bool { return s.Files[i].Name < s.Files[j].Name })
-	sort.Slice(s.FDs, func(i, j int) bool {
-		a, b := s.FDs[i], s.FDs[j]
-		if a.Proc != b.Proc {
-			return a.Proc < b.Proc
-		}
-		return a.FD < b.FD
-	})
-	sort.Slice(s.Pipes, func(i, j int) bool { return s.Pipes[i].ID < s.Pipes[j].ID })
-	sort.Slice(s.VMAs, func(i, j int) bool {
-		a, b := s.VMAs[i], s.VMAs[j]
-		if a.Proc != b.Proc {
-			return a.Proc < b.Proc
-		}
-		return a.Page < b.Page
-	})
 }

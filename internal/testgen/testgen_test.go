@@ -13,8 +13,8 @@ import (
 
 func gen(t *testing.T, a, b string, opt Options) []kernel.TestCase {
 	t.Helper()
-	pr := analyzer.AnalyzePair(model.OpByName(a), model.OpByName(b), analyzer.Options{})
-	return Generate(pr, opt)
+	pr := analyzer.AnalyzePair(model.Spec, model.OpByName(a), model.OpByName(b), analyzer.Options{})
+	return Generate(model.Spec, pr, opt)
 }
 
 func TestGenerateProducesTests(t *testing.T) {
