@@ -4,7 +4,7 @@
 //	scalebench stat    # Figure 7(a): statbench, three st_nlink variants
 //	scalebench open    # Figure 7(b): openbench, any-FD vs lowest-FD
 //	scalebench mail    # Figure 7(c): mail server, commutative vs regular
-//	scalebench all     # everything
+//	scalebench all     # the three Figure 7 benchmarks
 //	scalebench perf    # machine-readable pipeline perf record
 //
 // Values are operations per million simulated cycles per core; the paper's

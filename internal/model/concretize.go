@@ -98,15 +98,13 @@ func (concretizer) Setup(a, b spec.State, m sym.Model) (kernel.Setup, error) {
 		s.FDs = append(s.FDs, sd)
 	}
 
-	pipeMeta := map[int64][2]int64{}
+	pipeFields := map[int64]map[string]int64{}
 	for _, p := range spec.CollectProbes(m, sa.Pipe, sb.Pipe) {
 		id := p.Key[0]
 		if id < 1 {
 			continue
 		}
-		h := spec.Clamp(p.Fields["head"], 0, MaxLen)
-		t := spec.Clamp(p.Fields["tail"], h, MaxLen)
-		pipeMeta[id] = [2]int64{h, t}
+		pipeFields[id] = p.Fields
 		pipesNeeded[id] = true
 	}
 	pipeVals := map[int64]map[int64]int64{}
@@ -121,12 +119,8 @@ func (concretizer) Setup(a, b spec.State, m sym.Model) (kernel.Setup, error) {
 		pipeVals[id][seq] = p.Fields["val"]
 	}
 	for id := range pipesNeeded {
-		meta := pipeMeta[id]
-		var items []int64
-		for seq := meta[0]; seq < meta[1]; seq++ {
-			items = append(items, pipeVals[id][seq])
-		}
-		s.Pipes = append(s.Pipes, kernel.SetupPipe{ID: id, Items: items})
+		s.Pipes = append(s.Pipes, kernel.SetupPipe{
+			ID: id, Items: spec.BacklogItems(pipeFields[id], pipeVals[id], MaxLen)})
 	}
 
 	anonVals := map[[2]int64]int64{}

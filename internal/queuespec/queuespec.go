@@ -252,51 +252,41 @@ func (concretizer) Setup(a, b spec.State, m sym.Model) (kernel.Setup, error) {
 	sa, sb := a.(*State), b.(*State)
 
 	// Shared ordered queue.
-	var oh, ot int64
+	var ordFields map[string]int64
 	for _, p := range spec.CollectProbes(m, sa.Ord, sb.Ord) {
-		if p.Key[0] != 0 {
-			continue
+		if p.Key[0] == 0 {
+			ordFields = p.Fields
 		}
-		oh = spec.Clamp(p.Fields["head"], 0, MaxQLen)
-		ot = spec.Clamp(p.Fields["tail"], oh, MaxQLen)
 	}
 	ordVals := map[int64]int64{}
 	for _, p := range spec.CollectProbes(m, sa.OrdD, sb.OrdD) {
 		ordVals[p.Key[0]] = p.Fields["val"]
 	}
-	if ot > oh {
-		var items []int64
-		for seq := oh; seq < ot; seq++ {
-			items = append(items, ordVals[seq])
-		}
+	if items := spec.BacklogItems(ordFields, ordVals, MaxQLen); len(items) > 0 {
 		s.Queues = append(s.Queues, kernel.SetupQueue{Core: -1, Items: items})
 	}
 
 	// Per-core unordered queues, in queue-id order.
-	meta := map[int64][2]int64{}
+	anyFields := map[int64]map[string]int64{}
 	for _, p := range spec.CollectProbes(m, sa.AnyQ, sb.AnyQ) {
 		qi := p.Key[0]
 		if qi < 0 || qi >= NQueues {
 			continue
 		}
-		h := spec.Clamp(p.Fields["head"], 0, MaxQLen)
-		t := spec.Clamp(p.Fields["tail"], h, MaxQLen)
-		meta[qi] = [2]int64{h, t}
+		anyFields[qi] = p.Fields
 	}
-	anyVals := map[[2]int64]int64{}
+	anyVals := map[int64]map[int64]int64{}
 	for _, p := range spec.CollectProbes(m, sa.AnyD, sb.AnyD) {
-		anyVals[[2]int64{p.Key[0], p.Key[1]}] = p.Fields["val"]
+		qi, seq := p.Key[0], p.Key[1]
+		if anyVals[qi] == nil {
+			anyVals[qi] = map[int64]int64{}
+		}
+		anyVals[qi][seq] = p.Fields["val"]
 	}
 	for qi := int64(0); qi < NQueues; qi++ {
-		mt, ok := meta[qi]
-		if !ok || mt[1] <= mt[0] {
-			continue
+		if items := spec.BacklogItems(anyFields[qi], anyVals[qi], MaxQLen); len(items) > 0 {
+			s.Queues = append(s.Queues, kernel.SetupQueue{Core: qi, Items: items})
 		}
-		var items []int64
-		for seq := mt[0]; seq < mt[1]; seq++ {
-			items = append(items, anyVals[[2]int64{qi, seq}])
-		}
-		s.Queues = append(s.Queues, kernel.SetupQueue{Core: qi, Items: items})
 	}
 	return s, nil
 }

@@ -84,6 +84,20 @@ func EvalBool(m sym.Model, e *sym.Expr, def bool) bool {
 	return def
 }
 
+// BacklogItems mines one FIFO's concrete backlog from a probed cursor
+// pair: head and tail are clamped into [0, max] (tail at least head), and
+// the values queued between them are returned oldest first. Both nil maps
+// are fine — an unprobed FIFO yields an empty backlog.
+func BacklogItems(fields map[string]int64, vals map[int64]int64, max int64) []int64 {
+	h := Clamp(fields["head"], 0, max)
+	t := Clamp(fields["tail"], h, max)
+	var items []int64
+	for seq := h; seq < t; seq++ {
+		items = append(items, vals[seq])
+	}
+	return items
+}
+
 // Clamp bounds v to [lo, hi]; concretizers use it to keep mined values
 // inside the bounds a realizable setup supports.
 func Clamp(v, lo, hi int64) int64 {
