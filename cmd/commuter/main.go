@@ -13,6 +13,15 @@
 //	commuter sweep   -ops all -cache .sweep  # repeat sweeps are incremental
 //	commuter matrix  -spec queue             # second interface: mail queues
 //	commuter analyze -spec queue -pair send,send
+//	commuter serve   -addr :8372 -cache .sweep   # host sweeps over HTTP
+//	commuter sweep   -ops fs -server http://host:8372  # ...and consume them
+//
+// Every pipeline command runs through the commuter.Client façade and
+// takes -server: with no URL the pipeline runs in-process, with one it
+// runs on the named `commuter serve` instance over the versioned JSON
+// protocol — same flags, same output, different machine. The serve
+// subcommand hosts the pipeline (and the shared two-tier result cache)
+// for any number of such clients.
 //
 // Every pipeline command takes -spec, selecting the modeled interface
 // specification from the registry (default "posix", the 18 POSIX calls;
@@ -31,28 +40,32 @@
 //
 // The full 18-op matrix is dominated by the VM pairs; sweep fans the pairs
 // across a worker pool (-j, default all CPUs) and can persist per-pair
-// results in an on-disk cache (-cache), so a warm rerun finishes in well
-// under a second and a cold run takes minutes of wall-clock rather than
-// the tens of minutes the sequential path needs. Cache keys fold in the
-// spec name, so every spec can share one cache directory.
+// results in an on-disk cache (-cache locally, `serve -cache` remotely),
+// so a warm rerun finishes in well under a second and a cold run takes
+// minutes of wall-clock rather than the tens of minutes the sequential
+// path needs. Cache keys fold in the spec name, so every spec can share
+// one cache directory.
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
-	"repro/internal/analyzer"
+	"repro/commuter"
+	"repro/internal/api"
 	"repro/internal/eval"
-	"repro/internal/kernel"
 	_ "repro/internal/model"     // registers the "posix" spec
 	_ "repro/internal/queuespec" // registers the "queue" spec
 	"repro/internal/spec"
-	"repro/internal/sweep"
-	"repro/internal/testgen"
 )
 
 func main() {
@@ -69,14 +82,28 @@ func main() {
 		cmdMatrix(args)
 	case "sweep":
 		cmdSweep(args)
+	case "serve":
+		cmdServe(args)
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: commuter {analyze|testgen|matrix|sweep} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: commuter {analyze|testgen|matrix|sweep|serve} [flags]")
 	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "commuter:", err)
+	// Usage-class failures (unknown specs/ops/kernels, malformed
+	// requests) keep their historical exit status 2; pipeline failures
+	// exit 1.
+	var ae *api.Error
+	if errors.As(err, &ae) && ae.Code == api.CodeBadRequest {
+		os.Exit(2)
+	}
+	os.Exit(1)
 }
 
 // specFlag registers the -spec flag on a subcommand's flag set.
@@ -85,38 +112,48 @@ func specFlag(fs *flag.FlagSet) *string {
 		"interface specification to analyze (known: "+strings.Join(spec.Names(), ", ")+")")
 }
 
-// resolveSpec looks the selected spec up in the registry.
-func resolveSpec(name string) spec.Spec {
-	sp, err := spec.Lookup(name)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "commuter:", err)
-		os.Exit(2)
-	}
-	return sp
+// serverFlag registers the -server flag on a subcommand's flag set.
+func serverFlag(fs *flag.FlagSet) *string {
+	return fs.String("server", "",
+		"run the pipeline on this `commuter serve` URL instead of in-process")
 }
 
-func parsePair(sp spec.Spec, s string) (*spec.Op, *spec.Op) {
+// newClient builds the pipeline client the subcommand runs against: the
+// in-process binding, or the wire binding when -server was given.
+func newClient(server string) commuter.Client {
+	if server == "" {
+		return commuter.Local()
+	}
+	cli, err := commuter.Dial(server)
+	if err != nil {
+		fatal(err)
+	}
+	return cli
+}
+
+// runContext is the lifetime of one CLI invocation: Ctrl-C cancels it, and
+// the cancellation propagates through the client into the pipeline (local
+// workers or the remote server) instead of killing the process mid-write.
+func runContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+// splitPair parses the -pair flag into its two op names; name resolution
+// (with its "known ops" listing) happens inside the client.
+func splitPair(s string) (string, string) {
 	parts := strings.Split(s, ",")
 	if len(parts) != 2 {
 		fmt.Fprintln(os.Stderr, "commuter: -pair wants op1,op2")
 		os.Exit(2)
 	}
-	a, err := spec.OpByName(sp, strings.TrimSpace(parts[0]))
-	if err == nil {
-		var b *spec.Op
-		if b, err = spec.OpByName(sp, strings.TrimSpace(parts[1])); err == nil {
-			return a, b
-		}
-	}
-	fmt.Fprintln(os.Stderr, "commuter:", err)
-	os.Exit(2)
-	return nil, nil
+	return strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1])
 }
 
-// opSet resolves the -ops selector: "all", a spec-defined named subset,
-// or a comma list — deduplicated preserving first-appearance order, so a
-// repeated name ("open,open") can't multi-count its pairs in matrix
-// totals. Unknown names exit with the spec's ops listed.
+// opSet resolves the -ops selector against a local spec: "all", a
+// spec-defined named subset, or a comma list — deduplicated preserving
+// first-appearance order. Retained for in-process tooling (tests, the
+// golden pin); the CLI proper passes selectors through the client, which
+// applies the same resolution wherever it executes.
 func opSet(sp spec.Spec, s string) []*spec.Op {
 	out, err := spec.OpSet(sp, s)
 	if err != nil {
@@ -126,26 +163,47 @@ func opSet(sp spec.Spec, s string) []*spec.Op {
 	return out
 }
 
+// kernelNames parses the -kernel flag: "both"/"all" means every
+// implementation of the spec (the client's default).
+func kernelNames(s string) []string {
+	if s == "both" || s == "all" {
+		return nil
+	}
+	names := strings.Split(s, ",")
+	for i := range names {
+		names[i] = strings.TrimSpace(names[i])
+	}
+	return names
+}
+
 func cmdAnalyze(args []string) {
 	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
 	pair := fs.String("pair", "rename,rename", "operation pair to analyze")
 	specName := specFlag(fs)
+	server := serverFlag(fs)
 	lowest := fs.Bool("lowestfd", false, "model POSIX's lowest-FD rule instead of O_ANYFD nondeterminism")
 	verbose := fs.Bool("v", false, "print each path's commutativity condition")
 	fs.Parse(args)
 
-	sp := resolveSpec(*specName)
-	a, b := parsePair(sp, *pair)
+	ctx, stop := runContext()
+	defer stop()
+	cli := newClient(*server)
+	defer cli.Close()
+	opA, opB := splitPair(*pair)
 	start := time.Now()
-	r := analyzer.AnalyzePair(sp, a, b, analyzer.Options{Config: spec.Config{LowestFD: *lowest}})
-	fmt.Printf("%s (%v)\n", r.Summary(), time.Since(start).Round(time.Millisecond))
+	a, err := cli.Analyze(ctx, opA, opB,
+		commuter.WithSpec(*specName), commuter.WithLowestFD(*lowest))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s (%v)\n", a.Summary(), time.Since(start).Round(time.Millisecond))
 	fmt.Println("\ncommutative situations (§5.1-style clauses):")
-	for _, d := range analyzer.Describe(r) {
+	for _, d := range a.Clauses {
 		fmt.Printf("  - %s\n", d)
 	}
 	if *verbose {
 		fmt.Println("\nraw per-path conditions:")
-		for i, p := range r.Paths {
+		for i, p := range a.PathDetails {
 			tag := ""
 			if p.Commutes {
 				tag += " commutes"
@@ -156,7 +214,7 @@ func cmdAnalyze(args []string) {
 			if p.Unknown {
 				tag += " unknown(solver budget)"
 			}
-			fmt.Printf("path %d:%s\n  condition: %v\n", i, tag, p.CommuteCond)
+			fmt.Printf("path %d:%s\n  condition: %v\n", i, tag, p.Condition)
 		}
 	}
 }
@@ -165,45 +223,83 @@ func cmdTestgen(args []string) {
 	fs := flag.NewFlagSet("testgen", flag.ExitOnError)
 	pair := fs.String("pair", "rename,rename", "operation pair")
 	specName := specFlag(fs)
+	server := serverFlag(fs)
 	perPath := fs.Int("per-path", 4, "max isomorphism classes per path")
 	lowest := fs.Bool("lowestfd", false, "model POSIX's lowest-FD rule instead of O_ANYFD nondeterminism")
 	check := fs.Bool("check", false, "also run the tests on the spec's implementations")
 	fs.Parse(args)
 
-	sp := resolveSpec(*specName)
-	a, b := parsePair(sp, *pair)
-	r := analyzer.AnalyzePair(sp, a, b, analyzer.Options{Config: spec.Config{LowestFD: *lowest}})
-	tests, truncated := testgen.GenerateChecked(sp, r, testgen.Options{MaxTestsPerPath: *perPath, LowestFD: *lowest})
-	fmt.Printf("%d test cases for %s x %s\n", len(tests), r.OpA, r.OpB)
-	if n := r.Unknown() + truncated; n > 0 {
-		fmt.Fprintf(os.Stderr, "commuter: warning: %d path(s) hit the solver budget; the test set is a lower bound\n", n)
+	ctx, stop := runContext()
+	defer stop()
+	cli := newClient(*server)
+	defer cli.Close()
+	opA, opB := splitPair(*pair)
+	opts := []commuter.Option{
+		commuter.WithSpec(*specName),
+		commuter.WithTestsPerPath(*perPath),
+		commuter.WithLowestFD(*lowest),
 	}
-	for _, tc := range tests {
-		printTest(tc)
-		if *check {
-			for _, impl := range sp.Impls() {
-				kn := impl.Name
-				res, err := kernel.Check(impl.New, tc)
-				if err != nil {
-					fmt.Fprintf(os.Stderr, "  %s: %v\n", kn, err)
-					continue
-				}
-				verdict := "conflict-free"
-				if !res.ConflictFree {
-					names := make([]string, len(res.Conflicts))
-					for i, c := range res.Conflicts {
-						names[i] = c.CellName
-					}
-					verdict = "CONFLICTS on " + strings.Join(names, ", ")
-				}
-				fmt.Printf("  %-5s: %s\n", kn, verdict)
+	ts, err := cli.GenerateTests(ctx, opA, opB, opts...)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%d test cases for %s x %s\n", len(ts.Tests), ts.OpA, ts.OpB)
+	if ts.Unknown > 0 {
+		fmt.Fprintf(os.Stderr, "commuter: warning: %d path(s) hit the solver budget; the test set is a lower bound\n", ts.Unknown)
+	}
+
+	// With -check, batch one Check call per implementation, then print
+	// verdicts under each test in implementation order.
+	var verdicts map[string][]commuter.TestVerdict
+	var impls []string
+	if *check {
+		impls = implNames(ctx, cli, *specName)
+		verdicts = map[string][]commuter.TestVerdict{}
+		for _, kn := range impls {
+			sum, err := cli.Check(ctx, kn, ts.Tests, opts...)
+			if err != nil {
+				fatal(err)
 			}
+			// The wire response is untrusted input: a short verdict list
+			// (truncated body that still parses, a misbehaving proxy) must
+			// fail cleanly, not index out of range below.
+			if len(sum.Verdicts) != len(ts.Tests) {
+				fatal(fmt.Errorf("%s returned %d verdicts for %d tests", kn, len(sum.Verdicts), len(ts.Tests)))
+			}
+			verdicts[kn] = sum.Verdicts
+		}
+	}
+	for i, tc := range ts.Tests {
+		printTest(tc)
+		for _, kn := range impls {
+			v := verdicts[kn][i]
+			verdict := "conflict-free"
+			if !v.ConflictFree {
+				verdict = "CONFLICTS on " + strings.Join(v.Conflicts, ", ")
+			}
+			fmt.Printf("  %-5s: %s\n", kn, verdict)
 		}
 	}
 }
 
+// implNames looks up the named spec's implementations through the client,
+// so -check works identically against a server.
+func implNames(ctx context.Context, cli commuter.Client, specName string) []string {
+	infos, err := cli.Specs(ctx)
+	if err != nil {
+		fatal(err)
+	}
+	for _, in := range infos {
+		if in.Name == specName {
+			return in.Impls
+		}
+	}
+	fatal(fmt.Errorf("spec %q not offered by the pipeline", specName))
+	return nil
+}
+
 // printTest renders a test case in the style of the paper's Figure 5.
-func printTest(tc kernel.TestCase) {
+func printTest(tc commuter.TestCase) {
 	fmt.Printf("\ntest %s:\n", tc.ID)
 	fmt.Println("  setup:")
 	for _, ino := range tc.Setup.Inodes {
@@ -236,142 +332,142 @@ func printTest(tc kernel.TestCase) {
 	fmt.Printf("  op0: %v\n  op1: %v\n", tc.Calls[0], tc.Calls[1])
 }
 
-// kernelSet resolves the -kernel flag against the spec's implementation
-// bindings: "both"/"all" selects every implementation of the spec.
-func kernelSet(sp spec.Spec, s string) []sweep.KernelSpec {
-	var names []string
-	if s != "both" && s != "all" {
-		names = strings.Split(s, ",")
-		for i := range names {
-			names[i] = strings.TrimSpace(names[i])
-		}
+// sweepOptions assembles the client options shared by matrix and sweep.
+func sweepOptions(specName, ops, kern string, perPath int, lowest bool, workers int) []commuter.Option {
+	opts := []commuter.Option{
+		commuter.WithSpec(specName),
+		commuter.WithTestsPerPath(perPath),
+		commuter.WithLowestFD(lowest),
 	}
-	ks, err := eval.ImplSpecs(sp, names...)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "commuter:", err)
-		os.Exit(2)
+	if ops != "" {
+		opts = append(opts, commuter.WithOpSet(ops))
 	}
-	return ks
+	if names := kernelNames(kern); len(names) > 0 {
+		opts = append(opts, commuter.WithKernels(names...))
+	}
+	if workers > 0 {
+		opts = append(opts, commuter.WithWorkers(workers))
+	}
+	return opts
 }
 
-func cmdMatrix(args []string) {
-	fs := flag.NewFlagSet("matrix", flag.ExitOnError)
-	ops := fs.String("ops", "", `operation universe: "all", a spec-named subset ("fs"), or a comma list`)
-	specName := specFlag(fs)
-	kern := fs.String("kernel", "both", `implementation names, or "both"/"all" for every one`)
-	perPath := fs.Int("per-path", 4, "max isomorphism classes per path")
-	lowest := fs.Bool("lowestfd", false, "model POSIX's lowest-FD rule instead of O_ANYFD nondeterminism")
-	fs.Parse(args)
-
-	sp := resolveSpec(*specName)
-	universe := opSet(sp, defaultOps(sp, *ops))
-	kernels := kernelSet(sp, *kern)
-	start := time.Now()
-	tests := eval.GenerateAllTests(sp, universe,
-		analyzer.Options{Config: spec.Config{LowestFD: *lowest}},
-		testgen.Options{MaxTestsPerPath: *perPath, LowestFD: *lowest},
-		func(pair string, n int) {
-			fmt.Fprintf(os.Stderr, "generated %-20s %4d tests (%v)\n", pair, n, time.Since(start).Round(time.Second))
-		})
-	total := 0
-	for _, ts := range tests {
-		total += len(ts.Tests)
-	}
-	fmt.Printf("generated %d tests for %d operations in %v\n\n",
-		total, len(universe), time.Since(start).Round(time.Second))
-
-	for _, ks := range kernels {
-		m, err := eval.CheckMatrix(sp, ks.Name, tests)
+// runSweep drives one streamed sweep, printing progress to stderr and
+// optionally mirroring per-pair results to a JSONL artifact.
+func runSweep(ctx context.Context, cli commuter.Client, artifactPath string, opts []commuter.Option) *commuter.SweepResult {
+	var artifact *os.File
+	var enc *json.Encoder
+	if artifactPath != "" {
+		f, err := os.Create(artifactPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "commuter:", err)
-			os.Exit(1)
+			fatal(err)
 		}
-		fmt.Println(eval.FormatMatrix(m))
+		artifact = f
+		enc = json.NewEncoder(f)
 	}
-}
-
-// defaultOps resolves the -ops selector, falling back to the spec's own
-// declared default when the flag was not given.
-func defaultOps(sp spec.Spec, flagVal string) string {
-	if flagVal != "" {
-		return flagVal
+	// The artifact holds an arbitrary prefix of a failed sweep, and a
+	// truncated JSONL file parses as a complete one; remove it on any
+	// failure so nothing downstream mistakes it for a finished run.
+	discardArtifact := func() {
+		if artifact != nil {
+			artifact.Close()
+			os.Remove(artifactPath)
+		}
 	}
-	return sp.DefaultSet()
-}
 
-func cmdSweep(args []string) {
-	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
-	ops := fs.String("ops", "", `operation universe: "all", a spec-named subset ("fs"), or a comma list`)
-	specName := specFlag(fs)
-	j := fs.Int("j", runtime.NumCPU(), "worker pool size")
-	cacheDir := fs.String("cache", "", "result cache directory (empty disables caching)")
-	out := fs.String("out", "", "write per-pair results as JSONL to this file")
-	kern := fs.String("kernel", "both", `implementation names, or "both"/"all" for every one`)
-	perPath := fs.Int("per-path", 4, "max isomorphism classes per path")
-	lowest := fs.Bool("lowestfd", false, "model POSIX's lowest-FD rule instead of O_ANYFD nondeterminism")
-	fs.Parse(args)
-
-	sp := resolveSpec(*specName)
-	cfg := sweep.Config{
-		Spec:     sp,
-		Ops:      opSet(sp, defaultOps(sp, *ops)),
-		Kernels:  kernelSet(sp, *kern),
-		Analyzer: analyzer.Options{Config: spec.Config{LowestFD: *lowest}},
-		Testgen:  testgen.Options{MaxTestsPerPath: *perPath, LowestFD: *lowest},
-		Workers:  *j,
-		Progress: func(ev sweep.Event) {
+	var res *commuter.SweepResult
+	for upd, err := range cli.SweepStream(ctx, opts...) {
+		if err != nil {
+			discardArtifact()
+			fatal(err)
+		}
+		if upd.Pair != nil && enc != nil {
+			if werr := enc.Encode(upd.Pair); werr != nil {
+				discardArtifact()
+				fatal(fmt.Errorf("artifact write: %w", werr))
+			}
+		}
+		if ev := upd.Progress; ev != nil {
 			from := "computed"
 			if ev.Cached {
 				from = "cached"
 			}
 			fmt.Fprintf(os.Stderr, "[%3d/%3d] %-20s %4d tests %-8s in %.0fms (total %v)\n",
 				ev.Done, ev.Total, ev.Pair, ev.Tests, from, ev.PairMS, ev.Elapsed.Round(time.Millisecond))
-		},
-	}
-	if *cacheDir != "" {
-		c, err := sweep.OpenCache(*cacheDir)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "commuter:", err)
-			os.Exit(1)
 		}
-		cfg.Cache = c
-	}
-	var artifact *os.File
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "commuter:", err)
-			os.Exit(1)
+		if upd.Result != nil {
+			res = upd.Result
 		}
-		artifact = f
-		cfg.Artifact = f
 	}
-
-	res, err := sweep.Run(cfg)
-	if err != nil {
-		if artifact != nil {
-			// The artifact holds an arbitrary prefix of the failed sweep,
-			// and a truncated JSONL file parses as a complete one; remove
-			// it so nothing downstream mistakes it for a finished run.
-			artifact.Close()
-			os.Remove(*out)
-		}
-		fmt.Fprintln(os.Stderr, "commuter:", err)
-		os.Exit(1)
+	if res == nil {
+		discardArtifact()
+		fatal(fmt.Errorf("sweep stream ended without a result"))
 	}
 	if artifact != nil {
 		// A close error (deferred write failure on NFS, full disk) means a
 		// truncated artifact; remove it and fail loudly rather than exit 0
 		// leaving bad data that parses as a complete run.
 		if err := artifact.Close(); err != nil {
-			os.Remove(*out)
-			fmt.Fprintln(os.Stderr, "commuter: artifact:", err)
-			os.Exit(1)
+			os.Remove(artifactPath)
+			fatal(fmt.Errorf("artifact: %w", err))
 		}
 	}
+	return res
+}
+
+func cmdMatrix(args []string) {
+	fs := flag.NewFlagSet("matrix", flag.ExitOnError)
+	ops := fs.String("ops", "", `operation universe: "all", a spec-named subset ("fs"), or a comma list`)
+	specName := specFlag(fs)
+	server := serverFlag(fs)
+	kern := fs.String("kernel", "both", `implementation names, or "both"/"all" for every one`)
+	perPath := fs.Int("per-path", 4, "max isomorphism classes per path")
+	lowest := fs.Bool("lowestfd", false, "model POSIX's lowest-FD rule instead of O_ANYFD nondeterminism")
+	fs.Parse(args)
+
+	ctx, stop := runContext()
+	defer stop()
+	cli := newClient(*server)
+	defer cli.Close()
+	res := runSweep(ctx, cli, "", sweepOptions(*specName, *ops, *kern, *perPath, *lowest, 0))
+	fmt.Printf("generated %d tests for %d pairs in %v\n\n",
+		res.TotalTests(), len(res.Pairs), res.Elapsed.Round(time.Second))
+	for _, m := range eval.MatricesFromSweep(res) {
+		fmt.Println(eval.FormatMatrix(m))
+	}
+}
+
+func cmdSweep(args []string) {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	ops := fs.String("ops", "", `operation universe: "all", a spec-named subset ("fs"), or a comma list`)
+	specName := specFlag(fs)
+	server := serverFlag(fs)
+	j := fs.Int("j", 0, "worker pool size (default: executing side's CPUs)")
+	cacheDir := fs.String("cache", "", "result cache directory (empty disables caching; server-side caches are set by `serve -cache`)")
+	out := fs.String("out", "", "write per-pair results as JSONL to this file")
+	kern := fs.String("kernel", "both", `implementation names, or "both"/"all" for every one`)
+	perPath := fs.Int("per-path", 4, "max isomorphism classes per path")
+	lowest := fs.Bool("lowestfd", false, "model POSIX's lowest-FD rule instead of O_ANYFD nondeterminism")
+	fs.Parse(args)
+
+	ctx, stop := runContext()
+	defer stop()
+	cli := newClient(*server)
+	defer cli.Close()
+	workers := *j
+	if *server == "" && workers == 0 {
+		workers = runtime.NumCPU()
+	}
+	opts := sweepOptions(*specName, *ops, *kern, *perPath, *lowest, workers)
+	if *cacheDir != "" {
+		opts = append(opts, commuter.WithCache(*cacheDir))
+	}
+	res := runSweep(ctx, cli, *out, opts)
+
 	fmt.Printf("swept %d pairs (%d tests) on %d workers in %v",
 		len(res.Pairs), res.TotalTests(), res.Workers, res.Elapsed.Round(time.Millisecond))
-	if cfg.Cache != nil {
+	// Print per-tier statistics whenever a cache was in play: requested
+	// locally, or reported back non-zero by a caching server.
+	if *cacheDir != "" || res.Cache != (commuter.SweepCacheStats{}) {
 		fmt.Printf("; cache: testgen %d hits/%d misses, check %d hits/%d misses",
 			res.Cache.TestgenHits, res.Cache.TestgenMisses,
 			res.Cache.CheckHits, res.Cache.CheckMisses)

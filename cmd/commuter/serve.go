@@ -1,0 +1,79 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/commuter"
+)
+
+// cmdServe hosts the COMMUTER pipeline over HTTP: the versioned JSON API
+// every subcommand's -server flag consumes. One serve instance fans each
+// sweep across its own worker pool and puts the shared two-tier result
+// cache (-cache) behind all clients, so a pair any client ever swept is a
+// cache hit for every later one.
+func cmdServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "localhost:8372", "listen address")
+	cacheDir := fs.String("cache", "", "shared sweep result cache directory (empty disables caching)")
+	j := fs.Int("j", runtime.NumCPU(), "default worker pool size for sweeps that don't request one")
+	fs.Parse(args)
+
+	opts := []commuter.ServerOption{commuter.ServeWithWorkers(*j)}
+	if *cacheDir != "" {
+		opts = append(opts, commuter.ServeWithCache(*cacheDir))
+	}
+	handler, err := commuter.NewServerHandler(commuter.Local(), opts...)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Listen before announcing, so "serving on ..." is a readiness signal
+	// scripts (and the CI smoke job) can wait for.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	ctx, stop := runContext()
+	defer stop()
+	srv := &http.Server{
+		Handler: handler,
+		// Derive every request context from the signal context:
+		// http.Server.Shutdown alone never cancels in-flight requests, so
+		// this is what makes a SIGINT reach a running sweep's workers.
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+	fmt.Fprintf(os.Stderr, "commuter: serving on http://%s (cache: %s)\n", ln.Addr(), cacheOrNone(*cacheDir))
+
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		// Graceful drain: cancelled sweeps emit their terminal error
+		// frame and the connections go idle; Shutdown returns once they
+		// have (or after the bound, abandoning stragglers).
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(sctx)
+	}()
+	if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	// Serve returns the moment the listener closes; the drain above is
+	// still running. Wait it out so in-flight work isn't killed mid-write.
+	<-shutdownDone
+}
+
+func cacheOrNone(dir string) string {
+	if dir == "" {
+		return "none"
+	}
+	return dir
+}

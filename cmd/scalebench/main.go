@@ -13,12 +13,17 @@
 //
 // perf measures the pipeline itself rather than the simulated kernels: the
 // Figure 6 fs-subset sweep wall-clock and the sym-engine (ANALYZE/TESTGEN)
-// micro-benchmarks. With -json FILE it writes the measurements as a
-// BENCH_*.json record (CI uploads one per run as an artifact), so the
-// repository's performance trajectory is tracked instead of anecdotal.
+// micro-benchmarks. The sweep runs through the commuter.Client façade —
+// in-process by default, or against a `commuter serve` instance with
+// -server, in which case the measurement covers the service (wire format,
+// HTTP, streaming) end to end. With -json FILE it writes the measurements
+// as a BENCH_*.json record (CI uploads one per run as an artifact), so
+// the repository's performance trajectory is tracked instead of
+// anecdotal.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -28,17 +33,18 @@ import (
 	"strings"
 	"time"
 
+	"repro/commuter"
 	"repro/internal/analyzer"
 	"repro/internal/eval"
 	"repro/internal/model"
 	"repro/internal/spec"
-	"repro/internal/sweep"
 	"repro/internal/testgen"
 )
 
 func main() {
 	coresFlag := flag.String("cores", "", "comma-separated core counts (default 1,10,...,80)")
 	jsonPath := flag.String("json", "", "perf: also write the record to this BENCH_*.json file")
+	server := flag.String("server", "", "perf: run the sweep on this `commuter serve` URL instead of in-process")
 	flag.Parse()
 	cores := eval.DefaultCores
 	if *coresFlag != "" {
@@ -75,7 +81,7 @@ func main() {
 				eval.Mailbench(false, cores),
 			}))
 		case "perf":
-			if err := runPerf(*jsonPath); err != nil {
+			if err := runPerf(*jsonPath, *server); err != nil {
 				fmt.Fprintln(os.Stderr, "scalebench:", err)
 				os.Exit(1)
 			}
@@ -113,25 +119,27 @@ type benchReport struct {
 }
 
 // runPerf measures the pipeline: one cold Figure 6 fs-subset sweep (both
-// kernels, all CPUs, no cache) for the end-to-end wall-clock, plus the
-// sym-engine micro-benchmarks the README's Performance section tracks.
-func runPerf(jsonPath string) error {
+// kernels, all CPUs, no cache) for the end-to-end wall-clock — through
+// the Client façade, so the same measurement covers the in-process engine
+// or a remote serve instance — plus the sym-engine micro-benchmarks the
+// README's Performance section tracks.
+func runPerf(jsonPath, server string) error {
 	var records []benchRecord
 	add := func(name string, value float64, unit string) {
 		records = append(records, benchRecord{Name: name, Value: value, Unit: unit})
 		fmt.Printf("%-32s %12.2f %s\n", name, value, unit)
 	}
 
-	ops, err := spec.OpSet(model.Spec, "fs")
-	if err != nil {
-		return err
+	cli := commuter.Local()
+	if server != "" {
+		var err error
+		if cli, err = commuter.Dial(server); err != nil {
+			return err
+		}
 	}
-	kernels, err := eval.ImplSpecs(model.Spec)
-	if err != nil {
-		return err
-	}
+	defer cli.Close()
 	start := time.Now()
-	res, err := sweep.Run(sweep.Config{Spec: model.Spec, Ops: ops, Kernels: kernels})
+	res, err := cli.Sweep(context.Background(), commuter.WithOpSet("fs"))
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,218 @@
+package commuter_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/commuter"
+)
+
+// TestLocalAnalyze pins the local binding against the v1 shim: same
+// counts, same clauses, and the same one-line summary.
+func TestLocalAnalyze(t *testing.T) {
+	cli := commuter.Local()
+	defer cli.Close()
+	a, err := cli.Analyze(context.Background(), "stat", "unlink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := commuter.Analyze("stat", "unlink", commuter.Options{})
+	if a.Paths != len(want.Paths) {
+		t.Errorf("paths: %d, want %d", a.Paths, len(want.Paths))
+	}
+	if a.Commutative != len(want.CommutativePaths()) {
+		t.Errorf("commutative: %d, want %d", a.Commutative, len(want.CommutativePaths()))
+	}
+	if a.Summary() != want.Summary() {
+		t.Errorf("summary mismatch:\n v2: %s\n v1: %s", a.Summary(), want.Summary())
+	}
+	if len(a.PathDetails) != a.Paths {
+		t.Errorf("%d path details for %d paths", len(a.PathDetails), a.Paths)
+	}
+	if len(a.Clauses) == 0 {
+		t.Error("no clauses for a commutative pair")
+	}
+}
+
+// TestLocalUnknownNames pins the v2 error contract: unknown specs, ops
+// and kernels return errors naming the known alternatives — the panics
+// stay confined to the deprecated shims.
+func TestLocalUnknownNames(t *testing.T) {
+	cli := commuter.Local()
+	ctx := context.Background()
+	for _, tc := range []struct {
+		name string
+		call func() error
+		want string
+	}{
+		{"spec", func() error {
+			_, err := cli.Analyze(ctx, "stat", "stat", commuter.WithSpec("posxi"))
+			return err
+		}, "known specs:"},
+		{"op", func() error {
+			_, err := cli.Analyze(ctx, "renme", "rename")
+			return err
+		}, "known ops:"},
+		{"op-testgen", func() error {
+			_, err := cli.GenerateTests(ctx, "stat", "statt")
+			return err
+		}, "known ops:"},
+		{"kernel", func() error {
+			_, err := cli.Check(ctx, "sv7", nil)
+			return err
+		}, "known:"},
+		{"sweep-ops", func() error {
+			_, err := cli.Sweep(ctx, commuter.WithOps("stat", "nope"))
+			return err
+		}, "known ops:"},
+		{"sweep-kernel", func() error {
+			_, err := cli.Sweep(ctx, commuter.WithOps("stat"), commuter.WithKernels("sv7"))
+			return err
+		}, "known:"},
+	} {
+		err := tc.call()
+		if err == nil {
+			t.Errorf("%s: unknown name did not error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not list the known names (%q)", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestSweepKernelsError pins the repaired v1 helper: unknown kernel names
+// return an error listing the known implementations instead of panicking
+// (or being ignored).
+func TestSweepKernelsError(t *testing.T) {
+	ks, err := commuter.SweepKernels()
+	if err != nil || len(ks) != 2 {
+		t.Fatalf("SweepKernels() = %d specs, %v; want both kernels", len(ks), err)
+	}
+	if _, err := commuter.SweepKernels("sv7"); err == nil || !strings.Contains(err.Error(), "known:") {
+		t.Errorf("SweepKernels(sv7) = %v, want error listing known implementations", err)
+	}
+}
+
+// TestLocalSpecs pins spec discovery against the registry.
+func TestLocalSpecs(t *testing.T) {
+	infos, err := commuter.Local().Specs(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]commuter.SpecInfo{}
+	for _, in := range infos {
+		byName[in.Name] = in
+	}
+	posix, ok := byName["posix"]
+	if !ok {
+		t.Fatal("posix spec missing from discovery")
+	}
+	if len(posix.Ops) != 18 || len(posix.Impls) != 2 {
+		t.Errorf("posix: %d ops, %v impls", len(posix.Ops), posix.Impls)
+	}
+	if _, ok := byName["queue"]; !ok {
+		t.Error("queue spec missing from discovery")
+	}
+}
+
+// TestLocalPipelineEndToEnd drives the whole v2 pipeline in-process:
+// analyze, generate, check, and a streamed sweep whose final result
+// agrees with its own per-pair updates.
+func TestLocalPipelineEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline in -short mode")
+	}
+	cli := commuter.Local()
+	ctx := context.Background()
+
+	ts, err := cli.GenerateTests(ctx, "stat", "unlink", commuter.WithTestsPerPath(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts.Tests) == 0 {
+		t.Fatal("no tests generated for stat x unlink")
+	}
+	for _, kn := range []string{"linux", "sv6"} {
+		sum, err := cli.Check(ctx, kn, ts.Tests)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum.Total != len(ts.Tests) || len(sum.Verdicts) != len(ts.Tests) {
+			t.Errorf("%s: checked %d of %d tests (%d verdicts)", kn, sum.Total, len(ts.Tests), len(sum.Verdicts))
+		}
+	}
+
+	var pairs, progress int
+	var final *commuter.SweepResult
+	for upd, err := range cli.SweepStream(ctx, commuter.WithOps("stat", "lseek", "close"), commuter.WithWorkers(2)) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if upd.Pair != nil {
+			pairs++
+		}
+		if upd.Progress != nil {
+			progress++
+		}
+		if upd.Result != nil {
+			final = upd.Result
+		}
+	}
+	if final == nil {
+		t.Fatal("stream ended without a result")
+	}
+	if want := 6; pairs != want || progress != want || len(final.Pairs) != want {
+		t.Errorf("pairs=%d progress=%d result pairs=%d, want %d each", pairs, progress, len(final.Pairs), want)
+	}
+}
+
+// TestLocalSweepStreamEarlyBreak pins the pull-side cancellation path:
+// breaking out of the iterator must stop the sweep without leaking the
+// bridge goroutine (the -race CI job watches the latter).
+func TestLocalSweepStreamEarlyBreak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline in -short mode")
+	}
+	cli := commuter.Local()
+	seen := 0
+	for upd, err := range cli.SweepStream(context.Background(), commuter.WithOps("stat", "lseek", "close")) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if upd.Result != nil {
+			t.Fatal("result arrived before the break")
+		}
+		seen++
+		break
+	}
+	if seen != 1 {
+		t.Fatalf("saw %d updates, want 1", seen)
+	}
+}
+
+// TestLocalSweepCancel pins the acceptance criterion for the local
+// binding: cancelling mid-sweep surfaces context.Canceled.
+func TestLocalSweepCancel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline in -short mode")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cli := commuter.Local()
+	var sawErr error
+	for upd, err := range cli.SweepStream(ctx, commuter.WithOps("stat", "lseek", "close")) {
+		if err != nil {
+			sawErr = err
+			break
+		}
+		if upd.Progress != nil {
+			cancel()
+		}
+	}
+	if !errors.Is(sawErr, context.Canceled) {
+		t.Errorf("cancelled stream ended with %v, want context.Canceled", sawErr)
+	}
+}

@@ -5,14 +5,27 @@
 // MTRACE-style checker decides whether a kernel implementation is
 // conflict-free — and hence scalable on MESI-like hardware — for each test.
 //
-// The typical pipeline:
+// The pipeline lives behind the Client interface, which has two
+// interchangeable bindings: Local() runs it in-process, Dial(url) runs it
+// on a `commuter serve` instance over a versioned JSON protocol. The
+// typical pipeline:
 //
-//	pair := commuter.Analyze("rename", "rename", commuter.Options{})
-//	tests := commuter.GenerateTests(pair, commuter.GenOptions{})
-//	for _, tc := range tests {
-//		res, _ := commuter.Check(commuter.NewSv6, tc)
-//		fmt.Println(tc.ID, res.ConflictFree)
+//	cli := commuter.Local() // or commuter.Dial("http://sweephost:8372")
+//	analysis, err := cli.Analyze(ctx, "rename", "rename")
+//	ts, err := cli.GenerateTests(ctx, "rename", "rename")
+//	sum, err := cli.Check(ctx, "sv6", ts.Tests)
+//	fmt.Println(sum.Conflicts, "of", sum.Total, "tests conflicted")
+//
+// Sweeps stream per-pair results as they finish:
+//
+//	for upd, err := range cli.SweepStream(ctx, commuter.WithOpSet("fs")) {
+//		...
 //	}
+//
+// The top-level functions (Analyze, GenerateTests, Ops, Sweep, ...) are
+// the v1 API: in-process only, no contexts, panicking on unknown names.
+// They are retained as thin shims for compatibility and deprecated in
+// favor of the Client methods.
 //
 // Package commuter also exposes the evaluation drivers that regenerate the
 // paper's Figure 6 matrices and Figure 7 throughput curves.
@@ -96,6 +109,9 @@ func OpNames() []string { return spec.OpNames(model.Spec) }
 // building a SweepConfig universe. With no arguments it returns all 18
 // modeled operations in Figure 6 order; an unknown name panics (with the
 // known ops listed) like Analyze.
+//
+// Deprecated: use Client.Sweep with WithOps, which resolves names inside
+// any spec and returns an error instead of panicking.
 func Ops(names ...string) []*OpDef {
 	if len(names) == 0 {
 		return model.Ops()
@@ -114,14 +130,30 @@ func Ops(names ...string) []*OpDef {
 // Sweep fans the ANALYZE → TESTGEN → CHECK pipeline across cfg.Workers
 // goroutines, one unordered operation pair at a time, optionally serving
 // repeat pairs from cfg.Cache. See package sweep for the engine.
+//
+// Deprecated: use Client.Sweep (or Client.SweepStream), which is
+// cancellable, works against a remote server, and selects its universe
+// with options instead of a config struct.
 func Sweep(cfg SweepConfig) (*SweepResult, error) { return sweep.Run(cfg) }
 
 // OpenSweepCache opens (creating if needed) an on-disk sweep result cache.
+//
+// Deprecated: pass WithCache(dir) to Client.Sweep; the engine opens the
+// cache itself.
 func OpenSweepCache(dir string) (*SweepCache, error) { return sweep.OpenCache(dir) }
 
-// SweepKernels builds kernel specs by name ("linux", "sv6"); with no
-// arguments it returns both.
-func SweepKernels(names ...string) []KernelSpec { return eval.SweepKernels(names...) }
+// SweepKernels builds posix kernel specs by name ("linux", "sv6"); with
+// no arguments it returns both. An unknown name returns an error listing
+// the known implementations — historically it panicked, which made a
+// typoed kernel selection in an embedding program fatal instead of
+// recoverable.
+func SweepKernels(names ...string) ([]KernelSpec, error) {
+	posix, err := spec.Lookup("posix")
+	if err != nil {
+		return nil, err
+	}
+	return eval.ImplSpecs(posix, names...)
+}
 
 // MatricesFromSweep converts a sweep result into Figure 6 matrices, one per
 // swept kernel.
@@ -130,6 +162,9 @@ func MatricesFromSweep(res *SweepResult) []Matrix { return eval.MatricesFromSwee
 // Analyze computes the commutativity conditions of a POSIX operation
 // pair; unknown names panic with the known ops listed. Use AnalyzeIn to
 // analyze a pair of another registered spec.
+//
+// Deprecated: use Client.Analyze, which takes a context, selects the spec
+// with WithSpec, and returns an error instead of panicking.
 func Analyze(opA, opB string, opt Options) PairResult {
 	pr, err := AnalyzeIn("posix", opA, opB, opt)
 	if err != nil {
@@ -142,6 +177,11 @@ func Analyze(opA, opB string, opt Options) PairResult {
 // the named spec ("posix" reproduces Analyze; "queue" analyzes the mail
 // pipeline's communication interface). Unknown specs or ops return
 // errors listing the registered alternatives.
+//
+// Deprecated: use Client.Analyze with WithSpec(specName); it adds
+// cancellation and works over a remote binding. AnalyzeIn remains for
+// callers that need the symbolic PairResult rather than the plain-data
+// Analysis.
 func AnalyzeIn(specName, opA, opB string, opt Options) (PairResult, error) {
 	sp, err := spec.Lookup(specName)
 	if err != nil {
@@ -161,6 +201,10 @@ func AnalyzeIn(specName, opA, opB string, opt Options) (PairResult, error) {
 // GenerateTests converts an analysis into concrete test cases. The
 // analysis carries its spec's identity, so the right concretizer is used
 // whichever spec produced it.
+//
+// Deprecated: use Client.GenerateTests, which runs ANALYZE + TESTGEN from
+// the pair names, takes a context, and returns an error (with the
+// truncation count in TestSet.Unknown) instead of panicking.
 func GenerateTests(pr PairResult, opt GenOptions) []TestCase {
 	specName := pr.Spec
 	if specName == "" {
@@ -181,6 +225,10 @@ func NewSv6() Kernel { return svsix.New() }
 
 // Check runs one test case against fresh kernels from the constructor and
 // reports conflict-freedom plus a commutativity sanity check.
+//
+// Deprecated: use Client.Check, which selects the implementation by name
+// (so it works over a remote binding), batches tests, and is cancellable.
+// Check remains for callers supplying their own Kernel constructors.
 func Check(fresh func() Kernel, tc TestCase) (CheckResult, error) {
 	return kernel.Check(fresh, tc)
 }

@@ -1,0 +1,274 @@
+package commuter
+
+import (
+	"context"
+	"iter"
+
+	"repro/internal/analyzer"
+	"repro/internal/eval"
+	"repro/internal/kernel"
+	"repro/internal/spec"
+	"repro/internal/sweep"
+	"repro/internal/sym"
+	"repro/internal/testgen"
+)
+
+// Local returns the in-process binding of the Client interface: the same
+// engine the deprecated top-level functions wrap, behind the v2 contract
+// (contexts, errors, streaming). It is stateless and safe for concurrent
+// use; per-call caches are opened on demand (use Sweep's WithCache, or
+// host one shared cache behind NewServerHandler).
+func Local() Client { return localClient{} }
+
+type localClient struct{}
+
+func (localClient) Close() error { return nil }
+
+func (localClient) Specs(ctx context.Context) ([]SpecInfo, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var out []SpecInfo
+	for _, name := range spec.Names() {
+		sp, err := spec.Lookup(name)
+		if err != nil {
+			continue // racing an unregister; skip
+		}
+		info := SpecInfo{
+			Name:       name,
+			Ops:        spec.OpNames(sp),
+			Sets:       sp.Sets(),
+			DefaultSet: sp.DefaultSet(),
+		}
+		for _, im := range sp.Impls() {
+			info.Impls = append(info.Impls, im.Name)
+		}
+		out = append(out, info)
+	}
+	return out, nil
+}
+
+// resolvePair resolves the spec and both operation names, tagging unknown
+// names as bad requests.
+func resolvePair(o *callOptions, opA, opB string) (spec.Spec, *spec.Op, *spec.Op, error) {
+	sp, err := spec.Lookup(o.specName())
+	if err != nil {
+		return nil, nil, nil, badRequest(err)
+	}
+	a, err := spec.OpByName(sp, opA)
+	if err != nil {
+		return nil, nil, nil, badRequest(err)
+	}
+	b, err := spec.OpByName(sp, opB)
+	if err != nil {
+		return nil, nil, nil, badRequest(err)
+	}
+	return sp, a, b, nil
+}
+
+func (o *callOptions) analyzerOptions() analyzer.Options {
+	return analyzer.Options{
+		Config:   spec.Config{LowestFD: o.lowestFD},
+		MaxPaths: o.maxPaths,
+	}
+}
+
+func (o *callOptions) testgenOptions(ctx context.Context) testgen.Options {
+	return testgen.Options{
+		MaxTestsPerPath: o.perPath,
+		LowestFD:        o.lowestFD,
+		// A fresh per-call solver wired to the context makes cancellation
+		// land inside TESTGEN's enumeration searches too. The sweep cache
+		// key deliberately excludes solvers, so this does not fragment
+		// cache entries.
+		Solver: &sym.Solver{Stop: func() bool { return ctx.Err() != nil }},
+	}
+}
+
+func (localClient) Analyze(ctx context.Context, opA, opB string, opts ...Option) (Analysis, error) {
+	o := buildOptions(opts)
+	sp, a, b, err := resolvePair(&o, opA, opB)
+	if err != nil {
+		return Analysis{}, err
+	}
+	pr, err := analyzer.AnalyzePairCtx(ctx, sp, a, b, o.analyzerOptions())
+	if err != nil {
+		return Analysis{}, err
+	}
+	return analysisFrom(pr), nil
+}
+
+// analysisFrom flattens a symbolic pair analysis into its plain-data wire
+// form: counts, §5.1-style clauses, and rendered per-path conditions.
+func analysisFrom(r analyzer.PairResult) Analysis {
+	a := Analysis{
+		Spec:    r.Spec,
+		OpA:     r.OpA,
+		OpB:     r.OpB,
+		Paths:   len(r.Paths),
+		Unknown: r.Unknown(),
+		Clauses: analyzer.Describe(r),
+	}
+	for _, p := range r.Paths {
+		if p.Commutes {
+			a.Commutative++
+		}
+		if p.CanDiverge {
+			a.OrderDependent++
+		}
+		a.PathDetails = append(a.PathDetails, AnalysisPath{
+			Condition:  p.CommuteCond.String(),
+			Commutes:   p.Commutes,
+			CanDiverge: p.CanDiverge,
+			Unknown:    p.Unknown,
+		})
+	}
+	return a
+}
+
+func (localClient) GenerateTests(ctx context.Context, opA, opB string, opts ...Option) (TestSet, error) {
+	o := buildOptions(opts)
+	sp, a, b, err := resolvePair(&o, opA, opB)
+	if err != nil {
+		return TestSet{}, err
+	}
+	pr, err := analyzer.AnalyzePairCtx(ctx, sp, a, b, o.analyzerOptions())
+	if err != nil {
+		return TestSet{}, err
+	}
+	tests, truncated := testgen.GenerateChecked(sp, pr, o.testgenOptions(ctx))
+	if err := ctx.Err(); err != nil {
+		// A cancelled generation pass is truncated, not small; discard it.
+		return TestSet{}, err
+	}
+	return TestSet{
+		Spec:    sp.Name(),
+		OpA:     a.Name,
+		OpB:     b.Name,
+		Tests:   tests,
+		Unknown: pr.Unknown() + truncated,
+	}, nil
+}
+
+func (localClient) Check(ctx context.Context, kernelName string, tests []TestCase, opts ...Option) (CheckSummary, error) {
+	o := buildOptions(opts)
+	sp, err := spec.Lookup(o.specName())
+	if err != nil {
+		return CheckSummary{}, badRequest(err)
+	}
+	impls, err := eval.ImplSpecs(sp, kernelName)
+	if err != nil {
+		return CheckSummary{}, badRequest(err)
+	}
+	out := CheckSummary{Kernel: impls[0].Name}
+	for _, tc := range tests {
+		if err := ctx.Err(); err != nil {
+			return CheckSummary{}, err
+		}
+		res, err := kernel.Check(impls[0].New, tc)
+		if err != nil {
+			return CheckSummary{}, err
+		}
+		v := TestVerdict{TestID: tc.ID, ConflictFree: res.ConflictFree, Commuted: res.Commuted}
+		for _, c := range res.Conflicts {
+			v.Conflicts = append(v.Conflicts, c.CellName)
+		}
+		out.Total++
+		if !res.ConflictFree {
+			out.Conflicts++
+		}
+		out.Verdicts = append(out.Verdicts, v)
+	}
+	return out, nil
+}
+
+// sweepConfig resolves the options into an engine configuration. The
+// returned cleanup is non-nil when the call opened its own cache.
+func (o *callOptions) sweepConfig() (sweep.Config, error) {
+	sp, err := spec.Lookup(o.specName())
+	if err != nil {
+		return sweep.Config{}, badRequest(err)
+	}
+	sel := o.ops
+	if sel == "" {
+		sel = sp.DefaultSet()
+	}
+	ops, err := spec.OpSet(sp, sel)
+	if err != nil {
+		return sweep.Config{}, badRequest(err)
+	}
+	kernels, err := eval.ImplSpecs(sp, o.kernels...)
+	if err != nil {
+		return sweep.Config{}, badRequest(err)
+	}
+	cfg := sweep.Config{
+		Spec:     sp,
+		Ops:      ops,
+		Kernels:  kernels,
+		Analyzer: o.analyzerOptions(),
+		Testgen:  testgen.Options{MaxTestsPerPath: o.perPath, LowestFD: o.lowestFD},
+		Workers:  o.workers,
+		Cache:    o.cache,
+	}
+	if cfg.Cache == nil && o.cacheDir != "" {
+		if cfg.Cache, err = sweep.OpenCache(o.cacheDir); err != nil {
+			return sweep.Config{}, err
+		}
+	}
+	return cfg, nil
+}
+
+func (c localClient) Sweep(ctx context.Context, opts ...Option) (*SweepResult, error) {
+	return drainSweep(c.SweepStream(ctx, opts...))
+}
+
+func (localClient) SweepStream(ctx context.Context, opts ...Option) iter.Seq2[SweepUpdate, error] {
+	return func(yield func(SweepUpdate, error) bool) {
+		o := buildOptions(opts)
+		cfg, err := o.sweepConfig()
+		if err != nil {
+			yield(SweepUpdate{}, err)
+			return
+		}
+
+		// The engine pushes events from worker goroutines; the iterator
+		// pulls. A channel bridges the two, and an own cancel scope makes
+		// "consumer stopped iterating" look like cancellation to the
+		// engine, so its workers wind down and the bridging goroutine
+		// always terminates.
+		sctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		updates := make(chan SweepUpdate)
+		var (
+			res    *sweep.Result
+			runErr error
+		)
+		cfg.Progress = func(ev sweep.Event) {
+			upd := SweepUpdate{Pair: ev.Result}
+			ev.Result = nil
+			upd.Progress = &ev
+			select {
+			case updates <- upd:
+			case <-sctx.Done():
+			}
+		}
+		go func() {
+			defer close(updates)
+			res, runErr = sweep.RunContext(sctx, cfg)
+		}()
+
+		for upd := range updates {
+			if !yield(upd, nil) {
+				cancel()
+				for range updates { // wait out the engine's shutdown
+				}
+				return
+			}
+		}
+		if runErr != nil {
+			yield(SweepUpdate{}, runErr)
+			return
+		}
+		yield(SweepUpdate{Result: res}, nil)
+	}
+}

@@ -1,0 +1,256 @@
+package commuter
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"iter"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"repro/internal/api"
+)
+
+// Dial returns the remote binding of the Client interface: every call is
+// translated to the versioned JSON wire format (internal/api) and
+// executed by the `commuter serve` instance at baseURL, with sweeps
+// streamed back as NDJSON. Dial itself performs no I/O — the first call
+// does — so constructing a client is free and never blocks.
+//
+// Cancellation is end to end: cancelling a call's context aborts the
+// HTTP request, the server observes the disconnect as its own context
+// cancellation, and the sweep's workers stop just as a local sweep's
+// would. Errors come back as the same "unknown X (known: ...)" messages
+// the local binding produces.
+func Dial(baseURL string) (Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("commuter: dial %q: %w", baseURL, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("commuter: dial %q: URL must be http:// or https://", baseURL)
+	}
+	if u.Host == "" {
+		return nil, fmt.Errorf("commuter: dial %q: URL has no host", baseURL)
+	}
+	return &remoteClient{base: u, hc: &http.Client{}}, nil
+}
+
+type remoteClient struct {
+	base *url.URL
+	hc   *http.Client
+}
+
+func (c *remoteClient) Close() error {
+	c.hc.CloseIdleConnections()
+	return nil
+}
+
+// remoteOptions validates that the options make sense for a remote call.
+func remoteOptions(opts []Option) (callOptions, error) {
+	o := buildOptions(opts)
+	if o.cacheDir != "" || o.cache != nil {
+		return o, &api.Error{Code: api.CodeBadRequest,
+			Message: "commuter: WithCache applies to local clients; a server's cache is configured by `commuter serve -cache`"}
+	}
+	return o, nil
+}
+
+// do issues one request (POST with a JSON body, or GET when req is nil)
+// and decodes one JSON response.
+func (c *remoteClient) do(ctx context.Context, path string, req, resp any) error {
+	var body []byte
+	if req != nil {
+		var err error
+		if body, err = json.Marshal(req); err != nil {
+			return fmt.Errorf("commuter: encode %s request: %w", path, err)
+		}
+	}
+	hres, err := c.send(ctx, path, body)
+	if err != nil {
+		return err
+	}
+	defer hres.Body.Close()
+	if err := json.NewDecoder(hres.Body).Decode(resp); err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		return fmt.Errorf("commuter: decode %s response: %w", path, err)
+	}
+	// Drain the encoder's trailing newline: closing a body with unread
+	// bytes discards the connection instead of returning it to the
+	// keep-alive pool, costing a TCP (and TLS) handshake per call.
+	io.Copy(io.Discard, hres.Body)
+	return nil
+}
+
+// send issues the HTTP exchange (POST with body, GET without) and
+// normalizes transport and server errors; a non-nil response is an OK
+// whose body the caller must close.
+func (c *remoteClient) send(ctx context.Context, path string, body []byte) (*http.Response, error) {
+	method, reader := http.MethodGet, io.Reader(nil)
+	if body != nil {
+		method, reader = http.MethodPost, bytes.NewReader(body)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, method, c.base.JoinPath(path).String(), reader)
+	if err != nil {
+		return nil, fmt.Errorf("commuter: %s: %w", path, err)
+	}
+	if body != nil {
+		hreq.Header.Set("Content-Type", "application/json")
+	}
+	hres, err := c.hc.Do(hreq)
+	if err != nil {
+		// Surface the caller's cancellation as the bare context error —
+		// the contract callers select on — rather than net/http's
+		// wrapping of it.
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		return nil, fmt.Errorf("commuter: %s: %w", path, err)
+	}
+	if hres.StatusCode != http.StatusOK {
+		defer hres.Body.Close()
+		return nil, decodeError(hres)
+	}
+	return hres, nil
+}
+
+// decodeError turns a non-200 response into the wire error it carries,
+// falling back to a generic message for non-conforming bodies.
+func decodeError(hres *http.Response) error {
+	data, _ := io.ReadAll(io.LimitReader(hres.Body, 1<<16))
+	var ae api.Error
+	if err := json.Unmarshal(data, &ae); err == nil && ae.Message != "" {
+		return &ae
+	}
+	return fmt.Errorf("commuter: server returned %s: %s", hres.Status, strings.TrimSpace(string(data)))
+}
+
+func (c *remoteClient) Specs(ctx context.Context) ([]SpecInfo, error) {
+	var resp api.SpecsResponse
+	if err := c.do(ctx, api.PathSpecs, nil, &resp); err != nil {
+		return nil, err
+	}
+	if resp.Version != api.Version {
+		return nil, api.Errorf(api.CodeVersionMismatch,
+			"commuter: server speaks wire version %d, this client speaks %d", resp.Version, api.Version)
+	}
+	return resp.Specs, nil
+}
+
+func (c *remoteClient) Analyze(ctx context.Context, opA, opB string, opts ...Option) (Analysis, error) {
+	o, err := remoteOptions(opts)
+	if err != nil {
+		return Analysis{}, err
+	}
+	var out Analysis
+	req := api.AnalyzeRequest{Version: api.Version, OpA: opA, OpB: opB, Options: o.wire()}
+	if err := c.do(ctx, api.PathAnalyze, &req, &out); err != nil {
+		return Analysis{}, err
+	}
+	return out, nil
+}
+
+func (c *remoteClient) GenerateTests(ctx context.Context, opA, opB string, opts ...Option) (TestSet, error) {
+	o, err := remoteOptions(opts)
+	if err != nil {
+		return TestSet{}, err
+	}
+	var out TestSet
+	req := api.TestgenRequest{Version: api.Version, OpA: opA, OpB: opB, Options: o.wire()}
+	if err := c.do(ctx, api.PathTestgen, &req, &out); err != nil {
+		return TestSet{}, err
+	}
+	return out, nil
+}
+
+func (c *remoteClient) Check(ctx context.Context, kernelName string, tests []TestCase, opts ...Option) (CheckSummary, error) {
+	o, err := remoteOptions(opts)
+	if err != nil {
+		return CheckSummary{}, err
+	}
+	var out CheckSummary
+	req := api.CheckRequest{Version: api.Version, Kernel: kernelName, Tests: tests, Options: o.wire()}
+	if err := c.do(ctx, api.PathCheck, &req, &out); err != nil {
+		return CheckSummary{}, err
+	}
+	return out, nil
+}
+
+func (c *remoteClient) Sweep(ctx context.Context, opts ...Option) (*SweepResult, error) {
+	return drainSweep(c.SweepStream(ctx, opts...))
+}
+
+func (c *remoteClient) SweepStream(ctx context.Context, opts ...Option) iter.Seq2[SweepUpdate, error] {
+	return func(yield func(SweepUpdate, error) bool) {
+		o, err := remoteOptions(opts)
+		if err != nil {
+			yield(SweepUpdate{}, err)
+			return
+		}
+		body, err := json.Marshal(api.SweepRequest{Version: api.Version, Options: o.wire()})
+		if err != nil {
+			yield(SweepUpdate{}, fmt.Errorf("commuter: encode sweep request: %w", err))
+			return
+		}
+		hres, err := c.send(ctx, api.PathSweep, body)
+		if err != nil {
+			yield(SweepUpdate{}, err)
+			return
+		}
+		// Closing the body on early exit aborts the server-side sweep:
+		// the server sees the disconnect as context cancellation.
+		defer hres.Body.Close()
+
+		dec := json.NewDecoder(hres.Body)
+		for {
+			var fr api.Frame
+			if err := dec.Decode(&fr); err != nil {
+				if cerr := ctx.Err(); cerr != nil {
+					yield(SweepUpdate{}, cerr)
+				} else if errors.Is(err, io.EOF) {
+					yield(SweepUpdate{}, errors.New("commuter: sweep stream ended without a terminal frame"))
+				} else {
+					yield(SweepUpdate{}, fmt.Errorf("commuter: sweep stream: %w", err))
+				}
+				return
+			}
+			switch fr.Type {
+			case api.FrameUpdate:
+				upd := SweepUpdate{Pair: fr.Pair}
+				if fr.Progress != nil {
+					ev := fr.Progress.Event()
+					ev.Result = fr.Pair
+					upd.Progress = &ev
+				}
+				if !yield(upd, nil) {
+					return
+				}
+			case api.FrameResult:
+				if fr.Result == nil {
+					yield(SweepUpdate{}, errors.New("commuter: sweep result frame carried no result"))
+					return
+				}
+				yield(SweepUpdate{Result: fr.Result.ToSweep()}, nil)
+				return
+			case api.FrameError:
+				err := error(fr.Error)
+				if fr.Error == nil {
+					err = errors.New("commuter: sweep error frame carried no error")
+				} else if fr.Error.Code == api.CodeCanceled && ctx.Err() != nil {
+					err = ctx.Err()
+				}
+				yield(SweepUpdate{}, err)
+				return
+			default:
+				// Unknown frame types from a same-version server are
+				// additive extensions; skip them.
+			}
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package commuter
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/api"
+	"repro/internal/sweep"
+)
+
+// ServerOption configures NewServerHandler.
+type ServerOption func(*serverOptions)
+
+type serverOptions struct {
+	cacheDir string
+	workers  int
+}
+
+// ServeWithCache hosts the two-tier sweep cache rooted at dir behind
+// every sweep the handler serves: one shared handle, so concurrent
+// clients' sweeps serve and warm the same entries, and per-request
+// results report per-request hit/miss statistics.
+func ServeWithCache(dir string) ServerOption {
+	return func(o *serverOptions) { o.cacheDir = dir }
+}
+
+// ServeWithWorkers sets the worker-pool size used for sweep requests that
+// do not specify one (the default is one worker per server CPU).
+func ServeWithWorkers(n int) ServerOption {
+	return func(o *serverOptions) { o.workers = n }
+}
+
+// NewServerHandler returns the HTTP side of the wire contract: an
+// http.Handler exposing backend under the versioned JSON API that Dial
+// speaks (analyze/testgen/check as request-response, sweeps as NDJSON
+// streams, plus spec discovery and a health endpoint).
+//
+// The backend is any Client — normally Local(), but a Dial client works
+// too, making the handler a transparent proxy. Request contexts are
+// passed straight through, so a client hangup cancels the backend work it
+// started.
+func NewServerHandler(backend Client, opts ...ServerOption) (http.Handler, error) {
+	var so serverOptions
+	for _, f := range opts {
+		f(&so)
+	}
+	s := &server{backend: backend, workers: so.workers}
+	if so.cacheDir != "" {
+		var err error
+		if s.cache, err = sweep.OpenCache(so.cacheDir); err != nil {
+			return nil, err
+		}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET "+api.PathHealth, s.health)
+	mux.HandleFunc("GET "+api.PathSpecs, s.specs)
+	mux.HandleFunc("POST "+api.PathAnalyze, s.analyze)
+	mux.HandleFunc("POST "+api.PathTestgen, s.testgen)
+	mux.HandleFunc("POST "+api.PathCheck, s.check)
+	mux.HandleFunc("POST "+api.PathSweep, s.sweep)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(api.VersionHeader, fmt.Sprint(api.Version))
+		mux.ServeHTTP(w, r)
+	}), nil
+}
+
+type server struct {
+	backend Client
+	cache   *sweep.Cache
+	workers int
+}
+
+// maxRequestBytes bounds request bodies (check requests carry whole test
+// sets; 64 MiB is two orders of magnitude above the full 18-op corpus).
+const maxRequestBytes = 64 << 20
+
+// decodeRequest parses the body and enforces the wire version; version is
+// the request's own stamp. It writes the error response itself when it
+// returns false.
+func decodeRequest(w http.ResponseWriter, r *http.Request, req any, version func() int) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
+	if err := json.NewDecoder(r.Body).Decode(req); err != nil {
+		writeError(w, api.Errorf(api.CodeBadRequest, "malformed request: %v", err))
+		return false
+	}
+	if err := api.CheckVersion(version()); err != nil {
+		writeError(w, err)
+		return false
+	}
+	return true
+}
+
+// writeError maps a wire error to its status code and writes it.
+func writeError(w http.ResponseWriter, ae *api.Error) {
+	status := http.StatusInternalServerError
+	switch ae.Code {
+	case api.CodeBadRequest, api.CodeVersionMismatch:
+		status = http.StatusBadRequest
+	case api.CodeCanceled:
+		// Non-standard but conventional "client closed request"; the
+		// client is usually gone and never sees it.
+		status = 499
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(ae)
+}
+
+// wireError normalizes any backend error into its wire form.
+func wireError(ctx context.Context, err error) *api.Error {
+	var ae *api.Error
+	if errors.As(err, &ae) {
+		return ae
+	}
+	if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return api.Errorf(api.CodeCanceled, "%v", err)
+	}
+	return api.Errorf(api.CodeInternal, "%v", err)
+}
+
+// writeResult writes a successful JSON response, or the error mapped to
+// its wire form.
+func writeResult(w http.ResponseWriter, r *http.Request, v any, err error) {
+	if err != nil {
+		writeError(w, wireError(r.Context(), err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *server) health(w http.ResponseWriter, r *http.Request) {
+	writeResult(w, r, map[string]any{"status": "ok", "api_version": api.Version}, nil)
+}
+
+func (s *server) specs(w http.ResponseWriter, r *http.Request) {
+	specs, err := s.backend.Specs(r.Context())
+	if err != nil {
+		writeError(w, wireError(r.Context(), err))
+		return
+	}
+	writeResult(w, r, api.SpecsResponse{Version: api.Version, Specs: specs}, nil)
+}
+
+func (s *server) analyze(w http.ResponseWriter, r *http.Request) {
+	var req api.AnalyzeRequest
+	if !decodeRequest(w, r, &req, func() int { return req.Version }) {
+		return
+	}
+	out, err := s.backend.Analyze(r.Context(), req.OpA, req.OpB, optionsFromWire(req.Options)...)
+	writeResult(w, r, out, err)
+}
+
+func (s *server) testgen(w http.ResponseWriter, r *http.Request) {
+	var req api.TestgenRequest
+	if !decodeRequest(w, r, &req, func() int { return req.Version }) {
+		return
+	}
+	out, err := s.backend.GenerateTests(r.Context(), req.OpA, req.OpB, optionsFromWire(req.Options)...)
+	writeResult(w, r, out, err)
+}
+
+func (s *server) check(w http.ResponseWriter, r *http.Request) {
+	var req api.CheckRequest
+	if !decodeRequest(w, r, &req, func() int { return req.Version }) {
+		return
+	}
+	out, err := s.backend.Check(r.Context(), req.Kernel, req.Tests, optionsFromWire(req.Options)...)
+	writeResult(w, r, out, err)
+}
+
+// sweep streams a sweep as NDJSON frames, flushing after every frame so a
+// watching client sees pairs as they finish. The terminal frame is always
+// a "result" or an "error"; a connection that drops beforehand reads as a
+// truncated stream client-side.
+func (s *server) sweep(w http.ResponseWriter, r *http.Request) {
+	var req api.SweepRequest
+	if !decodeRequest(w, r, &req, func() int { return req.Version }) {
+		return
+	}
+	opts := optionsFromWire(req.Options)
+	if s.cache != nil {
+		opts = append(opts, withCacheHandle(s.cache))
+	}
+	if req.Options.Workers == 0 && s.workers > 0 {
+		opts = append(opts, WithWorkers(s.workers))
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	rc := http.NewResponseController(w)
+	emit := func(fr api.Frame) bool {
+		if err := enc.Encode(fr); err != nil {
+			return false // client gone; the request context will cancel
+		}
+		rc.Flush()
+		return true
+	}
+	for upd, err := range s.backend.SweepStream(r.Context(), opts...) {
+		if err != nil {
+			emit(api.Frame{Type: api.FrameError, Error: wireError(r.Context(), err)})
+			return
+		}
+		var fr api.Frame
+		if upd.Result != nil {
+			fr = api.Frame{Type: api.FrameResult, Result: api.ResultFromSweep(upd.Result, s.cache != nil)}
+		} else {
+			fr = api.Frame{Type: api.FrameUpdate, Pair: upd.Pair}
+			if upd.Progress != nil {
+				fr.Progress = api.ProgressFromEvent(*upd.Progress)
+			}
+		}
+		if !emit(fr) {
+			return
+		}
+	}
+}

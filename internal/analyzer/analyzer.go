@@ -12,6 +12,7 @@
 package analyzer
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/spec"
@@ -97,11 +98,22 @@ type pathData struct {
 // operations of the spec sp — from a shared symbolic initial state and
 // classifies every joint path.
 func AnalyzePair(sp spec.Spec, opA, opB *spec.Op, opt Options) PairResult {
+	// context.Background() is never cancelled, so the error leg is dead.
+	pr, _ := AnalyzePairCtx(context.Background(), sp, opA, opB, opt)
+	return pr
+}
+
+// AnalyzePairCtx is AnalyzePair under a context. Cancellation is observed
+// between path replays, between per-path classifications, and — via the
+// solver's Stop hook — inside individual satisfiability searches, so an
+// abandoned analysis stops promptly even mid-pair. On cancellation it
+// returns ctx.Err() and a zero PairResult; nothing partial escapes.
+func AnalyzePairCtx(ctx context.Context, sp spec.Spec, opA, opB *spec.Op, opt Options) (PairResult, error) {
 	solver := opt.Solver
 	if solver == nil {
-		solver = &sym.Solver{}
+		solver = &sym.Solver{Stop: func() bool { return ctx.Err() != nil }}
 	}
-	paths, budgeted := symx.RunChecked(func(c *symx.Context) any {
+	paths, budgeted, err := symx.RunCtx(ctx, func(c *symx.Context) any {
 		argsA := spec.MakeArgs(c, opA, "0")
 		argsB := spec.MakeArgs(c, opB, "1")
 
@@ -126,9 +138,15 @@ func AnalyzePair(sp spec.Spec, opA, opB *spec.Op, opt Options) PairResult {
 			retsB: [2][]*sym.Expr{rB0, rB1},
 		}
 	}, symx.Options{MaxPaths: opt.MaxPaths, Solver: solver})
+	if err != nil {
+		return PairResult{}, err
+	}
 
 	res := PairResult{Spec: sp.Name(), OpA: opA.Name, OpB: opB.Name, Budgeted: budgeted}
 	for _, p := range paths {
+		if cerr := ctx.Err(); cerr != nil {
+			return PairResult{}, cerr
+		}
 		d := p.Result.(pathData)
 		cc := sym.And(p.PC, d.eq)
 		chk := newChecker(solver, p.Witness, p.PC)
@@ -149,7 +167,13 @@ func AnalyzePair(sp spec.Spec, opA, opB *spec.Op, opt Options) PairResult {
 		}
 		res.Paths = append(res.Paths, pp)
 	}
-	return res
+	// Cancellation during the last path's classification would otherwise
+	// escape as a "successful" result whose Stop-hook-aborted searches
+	// read as spurious Unknowns; nothing partial may escape.
+	if err := ctx.Err(); err != nil {
+		return PairResult{}, err
+	}
+	return res, nil
 }
 
 // checker classifies one path's satisfiability questions against a fixed

@@ -1,0 +1,170 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/sweep"
+)
+
+var update = flag.Bool("update", false, "rewrite the wire-format golden files")
+
+// sampleTest is a representative concrete test case exercising every Setup
+// table the wire must carry (files, inodes, fds, pipes, VMAs, queues).
+func sampleTest() kernel.TestCase {
+	return kernel.TestCase{
+		ID: "rename-rename-p0-t1",
+		Setup: kernel.Setup{
+			Files:  []kernel.SetupFile{{Name: "f0", Inum: 1}, {Name: "f1", Inum: 1}},
+			Inodes: []kernel.SetupInode{{Inum: 1, ExtraLinks: 1, Len: 2, Pages: map[int64]int64{0: 7}}},
+			FDs:    []kernel.SetupFD{{Proc: 0, FD: 3, Inum: 1, Off: 1}, {Proc: 1, FD: 4, Pipe: true, PipeID: 2, WriteEnd: true}},
+			Pipes:  []kernel.SetupPipe{{ID: 2, Items: []int64{5}}},
+			VMAs:   []kernel.SetupVMA{{Proc: 0, Page: 8, Anon: true, Val: 3, Writable: true}},
+			Queues: []kernel.SetupQueue{{Core: -1, Items: []int64{9, 10}}},
+		},
+		Calls: [2]kernel.Call{
+			{Op: "rename", Proc: 0, Args: map[string]int64{"old": 0, "new": 1}},
+			{Op: "rename", Proc: 1, Args: map[string]int64{"old": 1, "new": 0}},
+		},
+	}
+}
+
+// goldenCases enumerates one canonical value per wire type. The encodings
+// are the v1 contract: if any byte of any golden file changes, Version
+// must be bumped and both Client bindings revisited.
+func goldenCases() map[string]any {
+	pair := sweep.PairResult{
+		OpA: "rename", OpB: "rename", Tests: 6,
+		Cells:     []sweep.KernelCell{{Kernel: "linux", Total: 6, Conflicts: 2}, {Kernel: "sv6", Total: 6, Conflicts: 0}},
+		Unknown:   1,
+		Cached:    true,
+		ElapsedMS: 12.5,
+	}
+	return map[string]any{
+		"error": &Error{Code: CodeBadRequest, Message: `unknown spec "posxi" (known specs: posix, queue)`},
+		"specs_response": &SpecsResponse{Version: Version, Specs: []SpecInfo{{
+			Name: "queue", Ops: []string{"send", "recv", "send_any", "recv_any"},
+			Sets:       map[string][]string{"any": {"send_any", "recv_any"}, "ordered": {"send", "recv"}},
+			DefaultSet: "all", Impls: []string{"memq"},
+		}}},
+		"analyze_request": &AnalyzeRequest{Version: Version, OpA: "stat", OpB: "unlink",
+			Options: Options{Spec: "posix", LowestFD: true, MaxPaths: 128}},
+		"analysis": &Analysis{Spec: "posix", OpA: "stat", OpB: "unlink",
+			Paths: 4, Commutative: 2, OrderDependent: 2, Unknown: 1,
+			Clauses: []string{"the names differ", "the file is absent in both orders"},
+			PathDetails: []PathSummary{
+				{Condition: "(and (not (= stat.0.fname unlink.1.fname)))", Commutes: true},
+				{Condition: "(= stat.0.fname unlink.1.fname)", CanDiverge: true, Unknown: true},
+			}},
+		"testgen_request": &TestgenRequest{Version: Version, OpA: "rename", OpB: "rename",
+			Options: Options{MaxTestsPerPath: 2}},
+		"test_set": &TestSet{Spec: "posix", OpA: "rename", OpB: "rename",
+			Tests: []kernel.TestCase{sampleTest()}, Unknown: 1},
+		"check_request": &CheckRequest{Version: Version, Kernel: "sv6",
+			Tests: []kernel.TestCase{sampleTest()}, Options: Options{Spec: "posix"}},
+		"check_summary": &CheckSummary{Kernel: "sv6", Total: 2, Conflicts: 1,
+			Verdicts: []TestVerdict{
+				{TestID: "a", ConflictFree: true, Commuted: true},
+				{TestID: "b", Commuted: true, Conflicts: []string{"inode[1].nlink"}},
+			}},
+		"sweep_request": &SweepRequest{Version: Version,
+			Options: Options{Spec: "posix", Ops: "fs", Kernels: []string{"linux", "sv6"}, Workers: 8}},
+		"frame_update": &Frame{Type: FrameUpdate,
+			Progress: &Progress{Pair: "rename/rename", Done: 3, Total: 45, Tests: 6, Cached: true, PairMS: 12.5, ElapsedMS: 810},
+			Pair:     &pair},
+		"frame_result": &Frame{Type: FrameResult, Result: &SweepResult{
+			Spec: "posix", Pairs: []sweep.PairResult{pair}, Workers: 8, ElapsedMS: 910.25,
+			Cache:            &CacheStats{TestgenHits: 40, TestgenMisses: 5, CheckHits: 80, CheckMisses: 10},
+			CacheWriteErrors: 1,
+		}},
+		"frame_error": &Frame{Type: FrameError, Error: &Error{Code: CodeCanceled, Message: "context canceled"}},
+	}
+}
+
+// TestWireGolden pins every wire encoding byte-for-byte against its
+// golden file, and round-trips the bytes back into an equal value — the
+// two halves of the interface contract: stability and losslessness.
+func TestWireGolden(t *testing.T) {
+	for name, v := range goldenCases() {
+		t.Run(name, func(t *testing.T) {
+			got, err := json.MarshalIndent(v, "", "\t")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			path := filepath.Join("testdata", name+".golden.json")
+			if *update {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run `go test ./internal/api -update` after a deliberate wire change AND bump api.Version)", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("wire encoding of %s changed from golden — this breaks remote clients; bump api.Version if deliberate\ngot:\n%s\nwant:\n%s", name, got, want)
+			}
+
+			// Round-trip: decoding the golden bytes must reproduce the
+			// value exactly (no field silently dropped by a tag typo).
+			back := reflect.New(reflect.TypeOf(v).Elem()).Interface()
+			if err := json.Unmarshal(want, back); err != nil {
+				t.Fatalf("golden does not decode: %v", err)
+			}
+			if !reflect.DeepEqual(v, back) {
+				t.Errorf("round-trip of %s lost data:\nsent: %#v\ngot:  %#v", name, v, back)
+			}
+		})
+	}
+}
+
+// TestProgressEventRoundTrip pins the Progress <-> sweep.Event conversion.
+func TestProgressEventRoundTrip(t *testing.T) {
+	ev := sweep.Event{Pair: "open/close", Done: 2, Total: 6, Tests: 9, Cached: true, PairMS: 3.25, Elapsed: 42 * time.Millisecond}
+	back := ProgressFromEvent(ev).Event()
+	if !reflect.DeepEqual(ev, back) {
+		t.Errorf("round-trip: %+v vs %+v", ev, back)
+	}
+}
+
+// TestResultRoundTrip pins SweepResult <-> sweep.Result, including the
+// nil-vs-zero cache distinction.
+func TestResultRoundTrip(t *testing.T) {
+	res := &sweep.Result{
+		Spec:    "posix",
+		Pairs:   []sweep.PairResult{{OpA: "stat", OpB: "stat", Tests: 1, ElapsedMS: 1}},
+		Workers: 4, Elapsed: 1500 * 1000 * 1000,
+		Cache:            sweep.CacheStats{TestgenHits: 1, TestgenMisses: 2, CheckHits: 3, CheckMisses: 4},
+		CacheWriteErrors: 5,
+	}
+	back := ResultFromSweep(res, true).ToSweep()
+	if !reflect.DeepEqual(res, back) {
+		t.Errorf("round-trip with cache:\nsent: %+v\ngot:  %+v", res, back)
+	}
+	if got := ResultFromSweep(res, false); got.Cache != nil {
+		t.Error("hasCache=false still produced wire cache stats")
+	}
+}
+
+// TestCheckVersion pins version enforcement.
+func TestCheckVersion(t *testing.T) {
+	if err := CheckVersion(Version); err != nil {
+		t.Errorf("current version rejected: %v", err)
+	}
+	err := CheckVersion(Version + 1)
+	if err == nil {
+		t.Fatal("future version accepted")
+	}
+	if err.Code != CodeVersionMismatch {
+		t.Errorf("code = %q, want %q", err.Code, CodeVersionMismatch)
+	}
+}

@@ -93,7 +93,11 @@ func (s CacheStats) Hits() int { return s.TestgenHits + s.CheckHits }
 // Misses sums misses across both tiers.
 func (s CacheStats) Misses() int { return s.TestgenMisses + s.CheckMisses }
 
-// Sub returns the per-field difference s − t, for windowed accounting.
+// Sub returns the per-field difference s − t, for windowed accounting
+// over one handle. Note the sweep engine does not use it for per-run
+// statistics: a shared handle (the serve endpoint's) serves concurrent
+// runs, whose windows would include each other's traffic; the engine
+// counts its own outcomes instead.
 func (s CacheStats) Sub(t CacheStats) CacheStats {
 	return CacheStats{
 		TestgenHits:   s.TestgenHits - t.TestgenHits,

@@ -11,6 +11,7 @@
 package sweep
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/analyzer"
 	"repro/internal/kernel"
 	"repro/internal/spec"
+	"repro/internal/sym"
 	"repro/internal/testgen"
 )
 
@@ -52,6 +54,11 @@ type Event struct {
 	PairMS float64
 	// Elapsed is the cumulative wall time since the sweep started.
 	Elapsed time.Duration
+	// Result points at the finished pair's full result, so streaming
+	// consumers (the Client façade, the serve endpoint) get per-pair
+	// results as they complete instead of waiting for Run to return. It
+	// is immutable once the event fires.
+	Result *PairResult
 }
 
 // Config describes one sweep.
@@ -146,6 +153,18 @@ func (r *Result) TotalTests() int {
 // Pair computation is deterministic, so the result is independent of worker
 // count and scheduling; only timing fields vary.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run under a context. Cancellation stops the sweep
+// promptly: no new pairs start, in-flight pairs abandon their symbolic
+// work between (and, via the solver Stop hook, inside) satisfiability
+// searches, every worker exits before RunContext returns, and the call
+// reports ctx.Err(). Cache writes are never interrupted mid-entry — each
+// goes through a temp file and an atomic rename, and a pair that did not
+// complete stores nothing — so a cancelled sweep leaves only complete
+// cache entries behind.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.NumCPU()
@@ -166,11 +185,6 @@ func Run(cfg Config) (*Result, error) {
 
 	jobs := Pairs(cfg.Ops)
 
-	var stats0 CacheStats
-	if cfg.Cache != nil {
-		stats0 = cfg.Cache.Stats()
-	}
-
 	start := time.Now()
 	results := make([]PairResult, len(jobs))
 	errs := make([]error, len(jobs))
@@ -184,15 +198,15 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	var (
-		failed         atomic.Bool // fail fast: stop starting pairs after the first error
-		cacheWriteErrs atomic.Int64
+		failed   atomic.Bool // fail fast: stop starting pairs after the first error
+		counters runCounters
 	)
-	Parallel(len(jobs), workers, func(i int) {
-		if failed.Load() {
+	ParallelCtx(ctx, len(jobs), workers, func(i int) {
+		if failed.Load() || ctx.Err() != nil {
 			return
 		}
 		j := jobs[i]
-		pr, err := runPair(sp, j[0], j[1], cfg, &cacheWriteErrs)
+		pr, err := runPair(ctx, sp, j[0], j[1], cfg, &counters)
 		results[i], errs[i] = pr, err
 		if err != nil {
 			failed.Store(true)
@@ -209,6 +223,10 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 		if cfg.Progress != nil {
+			// The event points at the worker's own copy, not results[i]:
+			// consumers may hold the pointer beyond the callback (the
+			// streaming façade hands it to another goroutine), and the
+			// final sort reorders the results slice in place.
 			cfg.Progress(Event{
 				Pair:    pr.Pair(),
 				Done:    done,
@@ -217,10 +235,17 @@ func Run(cfg Config) (*Result, error) {
 				Cached:  pr.Cached,
 				PairMS:  pr.ElapsedMS,
 				Elapsed: time.Since(start),
+				Result:  &pr,
 			})
 		}
 	})
 
+	// Cancellation trumps per-pair errors: an in-flight pair observes the
+	// cancelled context as its own failure, and the caller should see the
+	// context's error, not an artifact of where cancellation landed.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -235,10 +260,39 @@ func Run(cfg Config) (*Result, error) {
 		return res.Pairs[i].OpB < res.Pairs[j].OpB
 	})
 	if cfg.Cache != nil {
-		res.Cache = cfg.Cache.Stats().Sub(stats0)
-		res.CacheWriteErrors = int(cacheWriteErrs.Load())
+		res.Cache = counters.stats()
+		res.CacheWriteErrors = int(counters.writeErrs.Load())
 	}
 	return res, nil
+}
+
+// runCounters accumulates this run's cache outcomes. They are counted
+// per run rather than taken as a before/after delta of the cache handle's
+// cumulative Stats, because one handle may serve concurrent sweeps (the
+// serve endpoint shares its cache across requests) and a delta would
+// attribute the neighbors' traffic to this run.
+type runCounters struct {
+	tgHits, tgMisses atomic.Int64
+	ckHits, ckMisses atomic.Int64
+	writeErrs        atomic.Int64
+}
+
+func (c *runCounters) stats() CacheStats {
+	return CacheStats{
+		TestgenHits:   int(c.tgHits.Load()),
+		TestgenMisses: int(c.tgMisses.Load()),
+		CheckHits:     int(c.ckHits.Load()),
+		CheckMisses:   int(c.ckMisses.Load()),
+	}
+}
+
+// count bumps hits or misses.
+func count(hit bool, hits, misses *atomic.Int64) {
+	if hit {
+		hits.Add(1)
+	} else {
+		misses.Add(1)
+	}
 }
 
 // runPair assembles one pair's result from whichever cache tiers hit,
@@ -247,7 +301,7 @@ func Run(cfg Config) (*Result, error) {
 // kernel against the (cached or fresh) tests. Cache writes are
 // best-effort, mirroring the read side's degradation contract: a failed
 // store costs incrementality, never the sweep.
-func runPair(sp spec.Spec, a, b *spec.Op, cfg Config, cacheWriteErrs *atomic.Int64) (PairResult, error) {
+func runPair(ctx context.Context, sp spec.Spec, a, b *spec.Op, cfg Config, counters *runCounters) (PairResult, error) {
 	start := time.Now()
 	out := PairResult{OpA: a.Name, OpB: b.Name}
 
@@ -262,11 +316,29 @@ func runPair(sp spec.Spec, a, b *spec.Op, cfg Config, cacheWriteErrs *atomic.Int
 		// A hit is complete by construction (truncated results are never
 		// stored below), so unknown stays 0.
 		tests, haveTests = cfg.Cache.GetTests(tgKey)
+		count(haveTests, &counters.tgHits, &counters.tgMisses)
 	}
 	if !haveTests {
-		pr := analyzer.AnalyzePair(sp, a, b, cfg.Analyzer)
+		pr, err := analyzer.AnalyzePairCtx(ctx, sp, a, b, cfg.Analyzer)
+		if err != nil {
+			return out, fmt.Errorf("sweep %s: %w", out.Pair(), err)
+		}
+		gOpt := cfg.Testgen
+		if gOpt.Solver == nil {
+			// TESTGEN runs its own searches; give it a per-pair solver
+			// wired to the context so cancellation lands there too. The
+			// cache key deliberately excludes solvers, and a fresh solver
+			// per pair preserves the engine's parallelism (only a shared
+			// caller-provided solver forces workers=1 above).
+			gOpt.Solver = &sym.Solver{Stop: func() bool { return ctx.Err() != nil }}
+		}
 		var truncated int
-		tests, truncated = testgen.GenerateChecked(sp, pr, cfg.Testgen)
+		tests, truncated = testgen.GenerateChecked(sp, pr, gOpt)
+		if err := ctx.Err(); err != nil {
+			// A cancelled generation pass is truncated, not short: drop it
+			// before its lower-bound test set can reach the cache or a cell.
+			return out, fmt.Errorf("sweep %s: %w", out.Pair(), err)
+		}
 		unknown = pr.Unknown() + truncated
 		if cfg.Cache != nil && unknown == 0 {
 			// Budget-truncated results are never stored: the cache key
@@ -275,7 +347,7 @@ func runPair(sp spec.Spec, a, b *spec.Op, cfg Config, cacheWriteErrs *atomic.Int
 			// result is budget-independent — i.e. complete. A truncated
 			// pair recomputes on every sweep until some run affords it.
 			if err := cfg.Cache.PutTests(tgKey, tests); err != nil {
-				cacheWriteErrs.Add(1)
+				counters.writeErrs.Add(1)
 			}
 		}
 	}
@@ -294,10 +366,11 @@ func runPair(sp spec.Spec, a, b *spec.Op, cfg Config, cacheWriteErrs *atomic.Int
 			if cl, ok := cfg.Cache.GetCell(ckKey); ok {
 				cell, hit = *cl, true
 			}
+			count(hit, &counters.ckHits, &counters.ckMisses)
 		}
 		if !hit {
 			cached = false
-			total, conflicts, err := CheckTests(ks.New, tests)
+			total, conflicts, err := CheckTestsCtx(ctx, ks.New, tests)
 			if err != nil {
 				return out, fmt.Errorf("sweep %s on %s: %w", out.Pair(), ks.Name, err)
 			}
@@ -308,7 +381,7 @@ func runPair(sp spec.Spec, a, b *spec.Op, cfg Config, cacheWriteErrs *atomic.Int
 			// complete one a full-budget rerun generates.
 			if cfg.Cache != nil && unknown == 0 {
 				if err := cfg.Cache.PutCell(ckKey, cell); err != nil {
-					cacheWriteErrs.Add(1)
+					counters.writeErrs.Add(1)
 				}
 			}
 		}
@@ -338,7 +411,17 @@ func Pairs(ops []*spec.Op) [][2]*spec.Op {
 // Both the sweep engine and the evaluation layer's matrix path count cells
 // through this one loop.
 func CheckTests(fresh func() kernel.Kernel, tests []kernel.TestCase) (total, conflicts int, err error) {
+	return CheckTestsCtx(context.Background(), fresh, tests)
+}
+
+// CheckTestsCtx is CheckTests under a context, polling for cancellation
+// between tests (individual checks are short; the poll granularity is the
+// single test case).
+func CheckTestsCtx(ctx context.Context, fresh func() kernel.Kernel, tests []kernel.TestCase) (total, conflicts int, err error) {
 	for _, tc := range tests {
+		if err := ctx.Err(); err != nil {
+			return total, conflicts, err
+		}
 		res, err := kernel.Check(fresh, tc)
 		if err != nil {
 			return total, conflicts, fmt.Errorf("%s: %w", tc.ID, err)
@@ -359,6 +442,15 @@ func msSince(t time.Time) float64 {
 // (<= 0 means runtime.NumCPU()). It is the scheduling primitive the
 // evaluation layer reuses to parallelize pre-existing loops.
 func Parallel(n, workers int, fn func(i int)) {
+	ParallelCtx(context.Background(), n, workers, fn)
+}
+
+// ParallelCtx is Parallel under a context: once ctx is cancelled no new
+// index is dispatched, and the call still waits for in-flight fn calls to
+// return — the pool never leaks goroutines, cancelled or not. fn is
+// responsible for observing ctx itself if it wants to cut its own work
+// short.
+func ParallelCtx(ctx context.Context, n, workers int, fn func(i int)) {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
@@ -367,6 +459,9 @@ func Parallel(n, workers int, fn func(i int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return
+			}
 			fn(i)
 		}
 		return
@@ -382,8 +477,13 @@ func Parallel(n, workers int, fn func(i int)) {
 			}
 		}()
 	}
+feed:
 	for i := 0; i < n; i++ {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()

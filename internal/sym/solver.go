@@ -335,6 +335,14 @@ type Solver struct {
 	// unsatisfiable and Budget reports true: the result is "unknown", and
 	// callers that treat it as a definite "no" under-approximate.
 	MaxSteps int
+	// Stop, when non-nil, is polled every stopCheckMask+1 node visits of
+	// the backtracking search; when it returns true the search aborts
+	// exactly like budget exhaustion (unsatisfiable + Budget() true). It
+	// is how context cancellation reaches a long-running search: the
+	// symbolic executor installs a hook that reports ctx.Err() != nil, so
+	// a cancelled pipeline stops mid-search instead of at the next
+	// between-searches checkpoint.
+	Stop func() bool
 
 	steps    int
 	exceeded bool
@@ -348,8 +356,16 @@ type Solver struct {
 
 // Budget reports whether the previous Solve/Sat/Enumerate/SatAssuming call
 // ran out of steps before exhausting the search space — i.e. whether an
-// unsatisfiable answer from that call is actually "unknown".
+// unsatisfiable answer from that call is actually "unknown". A search
+// interrupted by the Stop hook reports the same way: its negative answer
+// is not a proof either.
 func (s *Solver) Budget() bool { return s.exceeded }
+
+// stopCheckMask throttles the Stop hook to one poll per 1024 node visits:
+// frequent enough that cancellation lands within microseconds, cheap
+// enough that the hook (typically a ctx.Err() check behind a mutex) never
+// shows up in search profiles.
+const stopCheckMask = 1<<10 - 1
 
 type domain struct {
 	v    *Expr
@@ -596,7 +612,8 @@ func (s *Solver) enumerateConjs(conjs []*Expr, cb func(Model) bool) {
 	next:
 		for _, val := range d.vals {
 			s.steps++
-			if s.steps > maxSteps {
+			if s.steps > maxSteps ||
+				(s.Stop != nil && s.steps&stopCheckMask == 0 && s.Stop()) {
 				s.exceeded = true
 				a.set[id] = false // keep the reusable arrays clean
 				return false

@@ -11,6 +11,7 @@
 package symx
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -400,19 +401,38 @@ func Run(fn func(*Context) any, opt Options) []Path {
 // truncated so hard that *no* path survives: an empty path list with
 // budgeted=true means "unknown", not "no feasible executions".
 func RunChecked(fn func(*Context) any, opt Options) ([]Path, bool) {
+	paths, budgeted, _ := RunCtx(context.Background(), fn, opt)
+	return paths, budgeted
+}
+
+// RunCtx is RunChecked under a context: cancellation is observed between
+// path replays, and — when RunCtx owns the solver — inside a replay's
+// feasibility searches through the solver's Stop hook, so even a single
+// long search cannot outlive the caller's deadline by much. On
+// cancellation it returns ctx.Err() and whatever paths had completed;
+// partial results from a cancelled exploration must not be interpreted
+// (the caller is abandoning the work, not truncating it).
+func RunCtx(ctx context.Context, fn func(*Context) any, opt Options) ([]Path, bool, error) {
 	maxPaths := opt.MaxPaths
 	if maxPaths == 0 {
 		maxPaths = 4096
 	}
 	solver := opt.Solver
 	if solver == nil {
-		solver = &sym.Solver{}
+		// A fresh solver is ours to wire: its Stop hook makes in-search
+		// cancellation prompt. A caller-provided solver is left untouched
+		// (it may be shared across calls under a different context), so
+		// there cancellation lands at replay granularity.
+		solver = &sym.Solver{Stop: func() bool { return ctx.Err() != nil }}
 	}
 
 	var paths []Path
 	budgeted := false
 	queue := [][]bool{nil}
 	for len(queue) > 0 && len(paths) < maxPaths {
+		if err := ctx.Err(); err != nil {
+			return paths, budgeted, err
+		}
 		prefix := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
 		ctx := newContext(prefix, solver)
@@ -434,7 +454,7 @@ func RunChecked(fn func(*Context) any, opt Options) ([]Path, bool) {
 	for i := range paths {
 		paths[i].Budgeted = budgeted
 	}
-	return paths, budgeted
+	return paths, budgeted, nil
 }
 
 // runOne executes fn once under ctx, converting abort panics into a flag.
