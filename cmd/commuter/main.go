@@ -53,6 +53,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"runtime"
@@ -64,6 +65,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/eval"
 	_ "repro/internal/model"     // registers the "posix" spec
+	"repro/internal/obs"
 	_ "repro/internal/queuespec" // registers the "queue" spec
 	"repro/internal/spec"
 )
@@ -110,6 +112,26 @@ func fatal(err error) {
 func specFlag(fs *flag.FlagSet) *string {
 	return fs.String("spec", "posix",
 		"interface specification to analyze (known: "+strings.Join(spec.Names(), ", ")+")")
+}
+
+// logFlag registers the -log flag on a subcommand's flag set. The default
+// keeps the human-facing output (results on stdout, progress on stderr)
+// unpolluted; -log info/debug turns on the engine's structured telemetry.
+func logFlag(fs *flag.FlagSet) *string {
+	return fs.String("log", "warn", "structured log level: debug, info, warn or error")
+}
+
+// setupLogging installs the process-wide structured logger at the given
+// level (text lines on stderr) and returns it.
+func setupLogging(level string) *slog.Logger {
+	lv, err := obs.ParseLevel(level)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "commuter:", err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv}))
+	slog.SetDefault(logger)
+	return logger
 }
 
 // serverFlag registers the -server flag on a subcommand's flag set.
@@ -183,7 +205,9 @@ func cmdAnalyze(args []string) {
 	server := serverFlag(fs)
 	lowest := fs.Bool("lowestfd", false, "model POSIX's lowest-FD rule instead of O_ANYFD nondeterminism")
 	verbose := fs.Bool("v", false, "print each path's commutativity condition")
+	logLevel := logFlag(fs)
 	fs.Parse(args)
+	setupLogging(*logLevel)
 
 	ctx, stop := runContext()
 	defer stop()
@@ -227,7 +251,9 @@ func cmdTestgen(args []string) {
 	perPath := fs.Int("per-path", 4, "max isomorphism classes per path")
 	lowest := fs.Bool("lowestfd", false, "model POSIX's lowest-FD rule instead of O_ANYFD nondeterminism")
 	check := fs.Bool("check", false, "also run the tests on the spec's implementations")
+	logLevel := logFlag(fs)
 	fs.Parse(args)
+	setupLogging(*logLevel)
 
 	ctx, stop := runContext()
 	defer stop()
@@ -414,6 +440,26 @@ func runSweep(ctx context.Context, cli commuter.Client, artifactPath string, opt
 	return res
 }
 
+// writeTraceFile exports the sweep's per-pair/per-phase timeline as a
+// Chrome trace-event file. Remote sweeps work too: the phase record rides
+// the wire inside each PairResult.
+func writeTraceFile(path string, res *commuter.SweepResult) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := commuter.WriteSweepTrace(f, res); err != nil {
+		f.Close()
+		os.Remove(path)
+		fatal(fmt.Errorf("trace: %w", err))
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(path)
+		fatal(fmt.Errorf("trace: %w", err))
+	}
+	fmt.Fprintf(os.Stderr, "commuter: wrote trace to %s (load in chrome://tracing or ui.perfetto.dev)\n", path)
+}
+
 func cmdMatrix(args []string) {
 	fs := flag.NewFlagSet("matrix", flag.ExitOnError)
 	ops := fs.String("ops", "", `operation universe: "all", a spec-named subset ("fs"), or a comma list`)
@@ -422,7 +468,9 @@ func cmdMatrix(args []string) {
 	kern := fs.String("kernel", "both", `implementation names, or "both"/"all" for every one`)
 	perPath := fs.Int("per-path", 4, "max isomorphism classes per path")
 	lowest := fs.Bool("lowestfd", false, "model POSIX's lowest-FD rule instead of O_ANYFD nondeterminism")
+	logLevel := logFlag(fs)
 	fs.Parse(args)
+	setupLogging(*logLevel)
 
 	ctx, stop := runContext()
 	defer stop()
@@ -447,7 +495,10 @@ func cmdSweep(args []string) {
 	kern := fs.String("kernel", "both", `implementation names, or "both"/"all" for every one`)
 	perPath := fs.Int("per-path", 4, "max isomorphism classes per path")
 	lowest := fs.Bool("lowestfd", false, "model POSIX's lowest-FD rule instead of O_ANYFD nondeterminism")
+	tracePath := fs.String("trace", "", "write a Chrome trace-event timeline of the sweep to this file")
+	logLevel := logFlag(fs)
 	fs.Parse(args)
+	setupLogging(*logLevel)
 
 	ctx, stop := runContext()
 	defer stop()
@@ -462,6 +513,9 @@ func cmdSweep(args []string) {
 		opts = append(opts, commuter.WithCache(*cacheDir))
 	}
 	res := runSweep(ctx, cli, *out, opts)
+	if *tracePath != "" {
+		writeTraceFile(*tracePath, res)
+	}
 
 	fmt.Printf("swept %d pairs (%d tests) on %d workers in %v",
 		len(res.Pairs), res.TotalTests(), res.Workers, res.Elapsed.Round(time.Millisecond))

@@ -8,7 +8,9 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"repro/commuter"
@@ -19,16 +21,31 @@ import (
 // sweep across its own worker pool and puts the shared two-tier result
 // cache (-cache) behind all clients, so a pair any client ever swept is a
 // cache hit for every later one.
+//
+// The handler exposes its telemetry on GET /metrics (Prometheus text
+// exposition) and — with -pprof — the runtime profiler under
+// /debug/pprof/. Every request logs one structured line at Info; -log
+// selects the level (default warn keeps the console quiet).
 func cmdServe(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", "localhost:8372", "listen address")
 	cacheDir := fs.String("cache", "", "shared sweep result cache directory (empty disables caching)")
 	j := fs.Int("j", runtime.NumCPU(), "default worker pool size for sweeps that don't request one")
+	grace := fs.Duration("grace", 15*time.Second, "shutdown drain bound: how long in-flight requests may run before being cancelled")
+	pprofOn := fs.Bool("pprof", false, "mount the runtime profiler on /debug/pprof/ (exposes stacks; keep the listener trusted)")
+	logLevel := logFlag(fs)
 	fs.Parse(args)
+	logger := setupLogging(*logLevel)
 
-	opts := []commuter.ServerOption{commuter.ServeWithWorkers(*j)}
+	opts := []commuter.ServerOption{
+		commuter.ServeWithWorkers(*j),
+		commuter.ServeWithLogger(logger),
+	}
 	if *cacheDir != "" {
 		opts = append(opts, commuter.ServeWithCache(*cacheDir))
+	}
+	if *pprofOn {
+		opts = append(opts, commuter.ServeWithPprof())
 	}
 	handler, err := commuter.NewServerHandler(commuter.Local(), opts...)
 	if err != nil {
@@ -41,27 +58,48 @@ func cmdServe(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	ctx, stop := runContext()
-	defer stop()
+
+	// Request lifetimes are deliberately NOT tied to the first signal:
+	// Shutdown below stops new connections while in-flight sweeps keep
+	// running to completion. cancelReqs is the second, forceful stage —
+	// through BaseContext it reaches every request context, and from
+	// there the sweep workers and solver Stop hooks.
+	reqCtx, cancelReqs := context.WithCancel(context.Background())
+	defer cancelReqs()
 	srv := &http.Server{
-		Handler: handler,
-		// Derive every request context from the signal context:
-		// http.Server.Shutdown alone never cancels in-flight requests, so
-		// this is what makes a SIGINT reach a running sweep's workers.
-		BaseContext: func(net.Listener) context.Context { return ctx },
+		Handler:     handler,
+		BaseContext: func(net.Listener) context.Context { return reqCtx },
 	}
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 	fmt.Fprintf(os.Stderr, "commuter: serving on http://%s (cache: %s)\n", ln.Addr(), cacheOrNone(*cacheDir))
 
 	shutdownDone := make(chan struct{})
 	go func() {
 		defer close(shutdownDone)
-		<-ctx.Done()
-		// Graceful drain: cancelled sweeps emit their terminal error
-		// frame and the connections go idle; Shutdown returns once they
-		// have (or after the bound, abandoning stragglers).
-		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		sig := <-sigs
+		logger.Info("shutdown: draining in-flight requests", "signal", sig.String(), "grace", *grace)
+		// A second signal skips the rest of the drain.
+		go func() {
+			sig := <-sigs
+			logger.Warn("shutdown: second signal, cancelling in-flight requests", "signal", sig.String())
+			cancelReqs()
+		}()
+		sctx, cancel := context.WithTimeout(context.Background(), *grace)
 		defer cancel()
-		srv.Shutdown(sctx)
+		if err := srv.Shutdown(sctx); err != nil {
+			// Grace expired with requests still running. Cancel them —
+			// sweeps abandon their symbolic work between (and inside)
+			// solver searches and emit a terminal error frame — then give
+			// the unwinding a short, bounded wait.
+			logger.Warn("shutdown: drain bound hit, cancelling in-flight requests", "err", err)
+			cancelReqs()
+			fctx, fcancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer fcancel()
+			srv.Shutdown(fctx)
+		}
+		logger.Info("shutdown: done")
 	}()
 	if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)

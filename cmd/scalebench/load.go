@@ -1,0 +1,271 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/commuter"
+)
+
+// cmdLoad is a load harness for `commuter serve`: it points N concurrent
+// Dial clients at one server, drives R streamed sweeps through them (the
+// first sweep per cache is cold, the rest warm — the serving mix the
+// shared cache exists for), and reports per-request latency percentiles
+// plus the server's own /metrics deltas, so a change to the serving path
+// is judged by the server's telemetry, not just by client-side clocks.
+//
+// A -stall fraction of the clients consume their NDJSON stream slowly
+// (sleeping -stall-ms per frame), exercising the per-frame flush path
+// under TCP backpressure — the regression class streaming servers grow.
+//
+// With no -server, it self-hosts an in-process server (fresh temp cache)
+// on a loopback port and load-tests that, so the harness works in a bare
+// checkout and in CI.
+func cmdLoad(args []string) {
+	fs := flag.NewFlagSet("load", flag.ExitOnError)
+	server := fs.String("server", "", "`commuter serve` URL to load (default: self-host one on a loopback port)")
+	clients := fs.Int("clients", 8, "concurrent Dial clients")
+	requests := fs.Int("requests", 32, "total sweep requests across all clients")
+	specName := fs.String("spec", "queue", "spec to sweep")
+	ops := fs.String("ops", "all", "operation universe within the spec")
+	stall := fs.Float64("stall", 0.25, "fraction of clients that consume their stream slowly")
+	stallMS := fs.Int("stall-ms", 20, "per-frame delay of a stalling consumer")
+	fs.Parse(args)
+	if *clients < 1 || *requests < 1 || *stall < 0 || *stall > 1 {
+		fmt.Fprintln(os.Stderr, "scalebench: load wants -clients >= 1, -requests >= 1, -stall in [0,1]")
+		os.Exit(2)
+	}
+
+	base := *server
+	if base == "" {
+		var shutdown func()
+		var err error
+		base, shutdown, err = selfHost()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scalebench:", err)
+			os.Exit(1)
+		}
+		defer shutdown()
+		fmt.Printf("load: self-hosting a caching server on %s\n", base)
+	}
+
+	before, err := scrapeMetrics(base)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scalebench: scraping /metrics:", err)
+		os.Exit(1)
+	}
+
+	// One cold sweep up front, so the concurrent phase measures the
+	// serving mix (all-warm plus whatever the stall pattern does) rather
+	// than raced duplicate cold computations.
+	opts := []commuter.Option{commuter.WithSpec(*specName), commuter.WithOpSet(*ops)}
+	warmup := time.Now()
+	if _, err := oneSweep(base, opts, 0); err != nil {
+		fmt.Fprintln(os.Stderr, "scalebench: warmup sweep:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("load: warmup (cold) sweep in %v\n", time.Since(warmup).Round(time.Millisecond))
+
+	stalling := int(*stall * float64(*clients))
+	fmt.Printf("load: %d requests over %d clients (%d stalling %dms/frame), spec=%s ops=%s\n",
+		*requests, *clients, stalling, *stallMS, *specName, *ops)
+
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		latencies []float64
+		failures  []error
+	)
+	reqCh := make(chan int)
+	start := time.Now()
+	for c := 0; c < *clients; c++ {
+		delay := 0
+		if c < stalling {
+			delay = *stallMS
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range reqCh {
+				t0 := time.Now()
+				_, err := oneSweep(base, opts, delay)
+				d := float64(time.Since(t0)) / 1e6
+				mu.Lock()
+				if err != nil {
+					failures = append(failures, err)
+				} else {
+					latencies = append(latencies, d)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < *requests; i++ {
+		reqCh <- i
+	}
+	close(reqCh)
+	wg.Wait()
+	wall := time.Since(start)
+
+	sort.Float64s(latencies)
+	fmt.Printf("load: %d ok, %d failed in %v (%.1f sweeps/s)\n",
+		len(latencies), len(failures), wall.Round(time.Millisecond),
+		float64(len(latencies))/wall.Seconds())
+	if len(latencies) > 0 {
+		fmt.Printf("load: latency p50=%.1fms p90=%.1fms p99=%.1fms max=%.1fms\n",
+			percentile(latencies, 0.50), percentile(latencies, 0.90),
+			percentile(latencies, 0.99), latencies[len(latencies)-1])
+	}
+
+	after, err := scrapeMetrics(base)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scalebench: scraping /metrics:", err)
+		os.Exit(1)
+	}
+	fmt.Println("load: server metric deltas:")
+	printDeltas(before, after)
+
+	for _, err := range failures {
+		fmt.Fprintln(os.Stderr, "scalebench: load:", err)
+	}
+	if len(failures) > 0 {
+		os.Exit(1)
+	}
+}
+
+// selfHost starts an in-process caching server on a loopback port and
+// returns its base URL and a shutdown func.
+func selfHost() (string, func(), error) {
+	dir, err := os.MkdirTemp("", "scalebench-load-*")
+	if err != nil {
+		return "", nil, err
+	}
+	// The harness's own serving logs would drown its report; keep them.
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	h, err := commuter.NewServerHandler(commuter.Local(),
+		commuter.ServeWithCache(dir), commuter.ServeWithLogger(quiet))
+	if err != nil {
+		os.RemoveAll(dir)
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		os.RemoveAll(dir)
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: h}
+	go srv.Serve(ln)
+	shutdown := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		os.RemoveAll(dir)
+	}
+	return "http://" + ln.Addr().String(), shutdown, nil
+}
+
+// oneSweep runs one streamed sweep through a fresh Dial client, consuming
+// every frame (sleeping delayMS per frame when stalling) and returning
+// the terminal result.
+func oneSweep(base string, opts []commuter.Option, delayMS int) (*commuter.SweepResult, error) {
+	cli, err := commuter.Dial(base)
+	if err != nil {
+		return nil, err
+	}
+	defer cli.Close()
+	var res *commuter.SweepResult
+	for upd, err := range cli.SweepStream(context.Background(), opts...) {
+		if err != nil {
+			return nil, err
+		}
+		if delayMS > 0 {
+			time.Sleep(time.Duration(delayMS) * time.Millisecond)
+		}
+		if upd.Result != nil {
+			res = upd.Result
+		}
+	}
+	if res == nil {
+		return nil, errors.New("sweep stream ended without a result")
+	}
+	return res, nil
+}
+
+// percentile reads the q-quantile from an ascending slice (nearest-rank).
+func percentile(sorted []float64, q float64) float64 {
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// scrapeMetrics fetches and flattens a Prometheus text exposition into
+// series -> value ("name{labels}" keys, comments dropped).
+func scrapeMetrics(base string) (map[string]float64, error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/metrics: %s", resp.Status)
+	}
+	out := map[string]float64{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[line[:i]] = v
+	}
+	return out, sc.Err()
+}
+
+// printDeltas prints every commuter_* series the load moved — the proof
+// the telemetry measures the traffic — skipping the histogram bucket
+// series, whose per-bucket deltas just restate the percentile lines.
+func printDeltas(before, after map[string]float64) {
+	keys := make([]string, 0, len(after))
+	for k := range after {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		name := k
+		if i := strings.IndexByte(k, '{'); i >= 0 {
+			name = k[:i]
+		}
+		if !strings.HasPrefix(name, "commuter_") || strings.HasSuffix(name, "_bucket") {
+			continue
+		}
+		if d := after[k] - before[k]; d != 0 {
+			fmt.Printf("  %-60s %+g\n", k, d)
+		}
+	}
+}

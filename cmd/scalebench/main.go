@@ -42,9 +42,15 @@ import (
 )
 
 func main() {
+	// load carries its own flag set; dispatch it before the shared flags.
+	if len(os.Args) > 1 && os.Args[1] == "load" {
+		cmdLoad(os.Args[2:])
+		return
+	}
 	coresFlag := flag.String("cores", "", "comma-separated core counts (default 1,10,...,80)")
 	jsonPath := flag.String("json", "", "perf: also write the record to this BENCH_*.json file")
 	server := flag.String("server", "", "perf: run the sweep on this `commuter serve` URL instead of in-process")
+	baseline := flag.String("baseline", "", "perf: compare ms records against this BENCH_*.json and fail on >2x regressions")
 	flag.Parse()
 	cores := eval.DefaultCores
 	if *coresFlag != "" {
@@ -81,7 +87,7 @@ func main() {
 				eval.Mailbench(false, cores),
 			}))
 		case "perf":
-			if err := runPerf(*jsonPath, *server); err != nil {
+			if err := runPerf(*jsonPath, *server, *baseline); err != nil {
 				fmt.Fprintln(os.Stderr, "scalebench:", err)
 				os.Exit(1)
 			}
@@ -123,7 +129,7 @@ type benchReport struct {
 // the Client façade, so the same measurement covers the in-process engine
 // or a remote serve instance — plus the sym-engine micro-benchmarks the
 // README's Performance section tracks.
-func runPerf(jsonPath, server string) error {
+func runPerf(jsonPath, server, baseline string) error {
 	var records []benchRecord
 	add := func(name string, value float64, unit string) {
 		records = append(records, benchRecord{Name: name, Value: value, Unit: unit})
@@ -147,6 +153,26 @@ func runPerf(jsonPath, server string) error {
 	add("fig6_fs_sweep_tests", float64(res.TotalTests()), "tests")
 	add("fig6_fs_sweep_workers", float64(res.Workers), "workers")
 
+	// Phase breakdown: where the sweep's CPU time went, summed across
+	// pairs. The sum exceeds the wall clock above because pairs overlap
+	// across workers; what the records track is the per-phase cost, so a
+	// regression points at the layer that regressed (solver_ms is the
+	// satisfiability-search share inside analyze+testgen).
+	var phases commuter.PhaseTimes
+	var satCalls int64
+	for _, p := range res.Pairs {
+		phases.AnalyzeMS += p.Phases.AnalyzeMS
+		phases.TestgenMS += p.Phases.TestgenMS
+		phases.CheckMS += p.Phases.CheckMS
+		phases.SolverMS += p.Phases.SolverMS
+		satCalls += p.Solver.SatCalls
+	}
+	add("fig6_fs_sweep_analyze_ms", phases.AnalyzeMS, "ms")
+	add("fig6_fs_sweep_testgen_ms", phases.TestgenMS, "ms")
+	add("fig6_fs_sweep_check_ms", phases.CheckMS, "ms")
+	add("fig6_fs_sweep_solver_ms", phases.SolverMS, "ms")
+	add("fig6_fs_sweep_sat_calls", float64(satCalls), "calls")
+
 	// Sym-engine micro-benchmarks: the hot ANALYZE and ANALYZE+TESTGEN
 	// paths on representative pairs, best of three.
 	rename := timeBest(3, func() {
@@ -161,6 +187,11 @@ func runPerf(jsonPath, server string) error {
 	})
 	add("sym_analyze_testgen_open_open_ms", open2, "ms")
 
+	if baseline != "" {
+		if err := compareBaseline(baseline, records); err != nil {
+			return err
+		}
+	}
 	if jsonPath == "" {
 		return nil
 	}
@@ -182,6 +213,61 @@ func runPerf(jsonPath, server string) error {
 		return err
 	}
 	fmt.Printf("wrote %s\n", jsonPath)
+	return nil
+}
+
+// Baseline gate tuning: a wall-time record regresses when it exceeds
+// regressionFactor times its committed baseline. Sub-regressionFloorMS
+// baselines are lifted to the floor first — at that scale scheduler noise
+// dwarfs the pipeline and a strict ratio would flag nothing real.
+const (
+	regressionFactor  = 2.0
+	regressionFloorMS = 5.0
+)
+
+// compareBaseline gates the wall-time records against a committed
+// BENCH_*.json. Only "ms" records present in both runs are compared:
+// counts are pinned by tests, and disjoint record sets (a renamed
+// measurement) should fail review, not the gate.
+func compareBaseline(path string, records []benchRecord) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base benchReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	want := map[string]float64{}
+	for _, r := range base.Records {
+		if r.Unit == "ms" {
+			want[r.Name] = r.Value
+		}
+	}
+	var regressed []string
+	compared := 0
+	for _, r := range records {
+		b, ok := want[r.Name]
+		if r.Unit != "ms" || !ok {
+			continue
+		}
+		compared++
+		allowed := max(b, regressionFloorMS) * regressionFactor
+		status := "ok"
+		if r.Value > allowed {
+			status = "REGRESSED"
+			regressed = append(regressed, r.Name)
+		}
+		fmt.Printf("baseline %-32s %10.2f -> %10.2f ms (limit %10.2f) %s\n",
+			r.Name, b, r.Value, allowed, status)
+	}
+	if compared == 0 {
+		return fmt.Errorf("baseline %s shares no ms records with this run", path)
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("performance regression (>%.0fx baseline): %s",
+			regressionFactor, strings.Join(regressed, ", "))
+	}
 	return nil
 }
 

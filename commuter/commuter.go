@@ -32,6 +32,8 @@
 package commuter
 
 import (
+	"io"
+
 	"repro/internal/analyzer"
 	"repro/internal/eval"
 	"repro/internal/kernel"
@@ -83,6 +85,10 @@ type (
 	SweepResult = sweep.Result
 	// SweepPair is the sweep outcome for one operation pair.
 	SweepPair = sweep.PairResult
+	// PhaseTimes is a pair's per-phase wall-time breakdown.
+	PhaseTimes = sweep.PhaseTimes
+	// SolverCounters is a pair's symbolic-solver work counters.
+	SolverCounters = sweep.SolverCounters
 	// SweepEvent is one streaming sweep progress report.
 	SweepEvent = sweep.Event
 	// SweepCache is the two-tier on-disk sweep cache (generated tests in a
@@ -154,6 +160,12 @@ func SweepKernels(names ...string) ([]KernelSpec, error) {
 	}
 	return eval.ImplSpecs(posix, names...)
 }
+
+// WriteSweepTrace renders a finished sweep as a Chrome trace-event file
+// (loadable in chrome://tracing or ui.perfetto.dev): one span per pair at
+// its recorded start offset with the analyze/testgen/check phases nested
+// inside, packed onto lanes that reconstruct the worker schedule.
+func WriteSweepTrace(w io.Writer, res *SweepResult) error { return sweep.WriteTrace(w, res) }
 
 // MatricesFromSweep converts a sweep result into Figure 6 matrices, one per
 // swept kernel.

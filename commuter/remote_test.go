@@ -42,6 +42,9 @@ func stripTimings(res *commuter.SweepResult) *commuter.SweepResult {
 	for i := range out.Pairs {
 		out.Pairs[i].ElapsedMS = 0
 		out.Pairs[i].Cached = false // cache state differs run to run, not pair content
+		out.Pairs[i].StartMS = 0
+		out.Pairs[i].Phases = commuter.PhaseTimes{}
+		out.Pairs[i].Solver = commuter.SolverCounters{}
 	}
 	return &out
 }

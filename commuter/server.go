@@ -2,12 +2,20 @@ package commuter
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
+	"os"
+	"strconv"
+	"time"
 
 	"repro/internal/api"
+	"repro/internal/obs"
 	"repro/internal/sweep"
 )
 
@@ -17,6 +25,8 @@ type ServerOption func(*serverOptions)
 type serverOptions struct {
 	cacheDir string
 	workers  int
+	logger   *slog.Logger
+	pprof    bool
 }
 
 // ServeWithCache hosts the two-tier sweep cache rooted at dir behind
@@ -33,6 +43,23 @@ func ServeWithWorkers(n int) ServerOption {
 	return func(o *serverOptions) { o.workers = n }
 }
 
+// ServeWithLogger routes the handler's structured request logs through
+// log; the default is slog.Default(). Every request logs one line at
+// Info with its generated request id (also returned to the client in the
+// X-Request-Id response header), method, route, status and duration.
+func ServeWithLogger(log *slog.Logger) ServerOption {
+	return func(o *serverOptions) { o.logger = log }
+}
+
+// ServeWithPprof additionally mounts the runtime profiler under
+// /debug/pprof/ (index, cmdline, profile, symbol, trace and the named
+// runtime profiles). Off by default: the endpoints expose goroutine
+// stacks and CPU time to anyone who can reach the port, so opt in only
+// where the listener is trusted.
+func ServeWithPprof() ServerOption {
+	return func(o *serverOptions) { o.pprof = true }
+}
+
 // NewServerHandler returns the HTTP side of the wire contract: an
 // http.Handler exposing backend under the versioned JSON API that Dial
 // speaks (analyze/testgen/check as request-response, sweeps as NDJSON
@@ -47,7 +74,10 @@ func NewServerHandler(backend Client, opts ...ServerOption) (http.Handler, error
 	for _, f := range opts {
 		f(&so)
 	}
-	s := &server{backend: backend, workers: so.workers}
+	s := &server{backend: backend, workers: so.workers, log: so.logger}
+	if s.log == nil {
+		s.log = slog.Default()
+	}
 	if so.cacheDir != "" {
 		var err error
 		if s.cache, err = sweep.OpenCache(so.cacheDir); err != nil {
@@ -61,16 +91,110 @@ func NewServerHandler(backend Client, opts ...ServerOption) (http.Handler, error
 	mux.HandleFunc("POST "+api.PathTestgen, s.testgen)
 	mux.HandleFunc("POST "+api.PathCheck, s.check)
 	mux.HandleFunc("POST "+api.PathSweep, s.sweep)
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set(api.VersionHeader, fmt.Sprint(api.Version))
-		mux.ServeHTTP(w, r)
-	}), nil
+	mux.Handle("GET "+api.PathMetrics, obs.Handler(obs.Default))
+	if so.pprof {
+		// Mounted on this mux explicitly (the pprof package's init only
+		// touches http.DefaultServeMux, which this handler never serves).
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	return s.instrument(mux), nil
 }
 
 type server struct {
 	backend Client
 	cache   *sweep.Cache
 	workers int
+	log     *slog.Logger
+}
+
+// HTTP-layer metrics, shared by every handler in the process so a scrape
+// of any one listener sees the process's whole serving picture.
+var (
+	metricHTTPRequests = obs.Default.CounterVec(
+		"commuter_http_requests_total",
+		"Completed HTTP requests by mux route and status code.",
+		"route", "code")
+	metricHTTPSeconds = obs.Default.HistogramVec(
+		"commuter_http_request_seconds",
+		"HTTP request wall time by mux route, including streaming time.",
+		obs.DefBuckets, "route")
+	metricHTTPInflight = obs.Default.Gauge(
+		"commuter_http_requests_inflight",
+		"HTTP requests currently being served.")
+)
+
+// statusWriter records the response status for logs and metrics. Unwrap
+// keeps http.NewResponseController working through the wrapper — the
+// sweep handler's per-frame Flush depends on it.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// requestID mints a 16-hex-digit random id for log correlation.
+func requestID() string {
+	var b [8]byte
+	rand.Read(b[:]) // never fails post-Go 1.24; worst case is a zero id
+	return hex.EncodeToString(b[:])
+}
+
+// instrument wraps the routed mux with the observability envelope: the
+// API version header, a per-request id (echoed in X-Request-Id), request
+// metrics labeled by mux route, and one structured log line per request.
+func (s *server) instrument(mux *http.ServeMux) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := requestID()
+		w.Header().Set(api.VersionHeader, fmt.Sprint(api.Version))
+		w.Header().Set("X-Request-Id", id)
+		sw := &statusWriter{ResponseWriter: w}
+		metricHTTPInflight.Inc()
+		mux.ServeHTTP(sw, r)
+		metricHTTPInflight.Dec()
+
+		// The mux stamped the matched pattern onto the request; an empty
+		// pattern is a 404/405, bucketed together so unmatched paths
+		// cannot mint unbounded label values.
+		route := r.Pattern
+		if route == "" {
+			route = "unmatched"
+		}
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK // handler wrote nothing at all
+		}
+		elapsed := time.Since(start)
+		metricHTTPRequests.With(route, strconv.Itoa(status)).Inc()
+		metricHTTPSeconds.With(route).Observe(elapsed.Seconds())
+		s.log.LogAttrs(r.Context(), slog.LevelInfo, "http request",
+			slog.String("id", id),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.String("route", route),
+			slog.Int("status", status),
+			slog.Duration("elapsed", elapsed),
+			slog.String("remote", r.RemoteAddr))
+	})
 }
 
 // maxRequestBytes bounds request bodies (check requests carry whole test
@@ -132,7 +256,26 @@ func writeResult(w http.ResponseWriter, r *http.Request, v any, err error) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// health reports readiness, not just liveness: a server whose cache
+// directory has become unwritable (disk full, volume unmounted, perms
+// clobbered) would serve every sweep degraded — cold and non-incremental
+// — so it answers 503 and lets the orchestrator rotate it out instead of
+// answering an unconditional 200.
 func (s *server) health(w http.ResponseWriter, r *http.Request) {
+	if s.cache != nil {
+		f, err := os.CreateTemp(s.cache.Dir(), ".healthz-*")
+		if err != nil {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(map[string]any{
+				"status": "unhealthy", "api_version": api.Version,
+				"error": fmt.Sprintf("sweep cache not writable: %v", err),
+			})
+			return
+		}
+		f.Close()
+		os.Remove(f.Name())
+	}
 	writeResult(w, r, map[string]any{"status": "ok", "api_version": api.Version}, nil)
 }
 

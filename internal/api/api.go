@@ -41,6 +41,9 @@ const (
 	PathCheck   = "/v1/check"
 	PathSweep   = "/v1/sweep"
 	PathHealth  = "/healthz"
+	// PathMetrics is unversioned: Prometheus exposition carries its own
+	// format version in the scrape Content-Type.
+	PathMetrics = "/metrics"
 )
 
 // VersionHeader is set on every server response.

@@ -37,8 +37,11 @@ func sampleTest() kernel.TestCase {
 }
 
 // goldenCases enumerates one canonical value per wire type. The encodings
-// are the v1 contract: if any byte of any golden file changes, Version
-// must be bumped and both Client bindings revisited.
+// are the v1 contract: if the encoding of an existing field changes,
+// Version must be bumped and both Client bindings revisited. Purely
+// additive omitempty/omitzero fields (and fixture extensions exercising
+// them) stay within v1: old peers ignore the unknown keys, and absent
+// keys decode to zero values.
 func goldenCases() map[string]any {
 	pair := sweep.PairResult{
 		OpA: "rename", OpB: "rename", Tests: 6,
@@ -46,6 +49,9 @@ func goldenCases() map[string]any {
 		Unknown:   1,
 		Cached:    true,
 		ElapsedMS: 12.5,
+		StartMS:   2.25,
+		Phases:    sweep.PhaseTimes{AnalyzeMS: 1.5, TestgenMS: 2.25, CheckMS: 8, SolverMS: 0.75},
+		Solver:    sweep.SolverCounters{SatCalls: 37, BudgetHits: 1, InternHits: 1065},
 	}
 	return map[string]any{
 		"error": &Error{Code: CodeBadRequest, Message: `unknown spec "posxi" (known specs: posix, queue)`},

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Span is one complete ("X"-phase) span of a trace: a named interval on a
+// (pid, tid) lane, with optional structured arguments shown in the trace
+// viewer's detail pane. Times are microseconds from the trace origin —
+// the Chrome trace-event format's native unit.
+type Span struct {
+	// Name is the span label ("rename/rename", "analyze", ...).
+	Name string
+	// Cat is the span category; viewers filter on it ("pair", "phase").
+	Cat string
+	// StartUS and DurUS place the span, in microseconds from the origin.
+	StartUS, DurUS float64
+	// PID and TID select the process and thread lane the span renders on.
+	PID, TID int
+	// Args carries arbitrary key/value detail (counters, verdicts).
+	Args map[string]any
+}
+
+// traceEvent is the wire form of one trace-event entry.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the JSON-object flavor of the trace-event format, which —
+// unlike the bare-array flavor — admits metadata like the display unit.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders spans as a Chrome trace-event file loadable by
+// chrome://tracing and https://ui.perfetto.dev. Spans are written in
+// start order; zero-duration spans are kept (viewers render them as
+// instants), so a caller need not special-case empty phases.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	ordered := make([]Span, len(spans))
+	copy(ordered, spans)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].StartUS < ordered[j].StartUS })
+
+	out := traceFile{TraceEvents: make([]traceEvent, 0, len(ordered)), DisplayTimeUnit: "ms"}
+	for _, s := range ordered {
+		out.TraceEvents = append(out.TraceEvents, traceEvent{
+			Name: s.Name, Cat: s.Cat, Ph: "X",
+			TS: s.StartUS, Dur: s.DurUS,
+			PID: s.PID, TID: s.TID, Args: s.Args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// PackLanes assigns each interval [start[i], start[i]+dur[i]) to the
+// lowest-numbered lane (1-based) where it does not overlap a previously
+// assigned interval — greedy interval partitioning in start order. The
+// sweep's trace export uses it to reconstruct worker-style lanes from
+// per-pair timings, so concurrent pairs render stacked instead of
+// overlapping on one row.
+func PackLanes(start, dur []float64) []int {
+	idx := make([]int, len(start))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return start[idx[a]] < start[idx[b]] })
+
+	lanes := make([]int, len(start))
+	var laneEnd []float64
+	for _, i := range idx {
+		placed := false
+		for l, end := range laneEnd {
+			if start[i] >= end {
+				lanes[i] = l + 1
+				laneEnd[l] = start[i] + dur[i]
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			laneEnd = append(laneEnd, start[i]+dur[i])
+			lanes[i] = len(laneEnd)
+		}
+	}
+	return lanes
+}

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestWriteChromeTrace(t *testing.T) {
+	spans := []Span{
+		{Name: "analyze", Cat: "phase", StartUS: 100, DurUS: 40, PID: 1, TID: 2},
+		{Name: "open/open", Cat: "pair", StartUS: 100, DurUS: 90, PID: 1, TID: 2,
+			Args: map[string]any{"tests": 6}},
+		{Name: "check", Cat: "phase", StartUS: 140, DurUS: 50, PID: 1, TID: 2},
+	}
+	var b bytes.Buffer
+	if err := WriteChromeTrace(&b, spans); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &file); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	if file.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", file.DisplayTimeUnit)
+	}
+	if len(file.TraceEvents) != 3 {
+		t.Fatalf("got %d events, want 3", len(file.TraceEvents))
+	}
+	// Events come out in start order regardless of input order.
+	if file.TraceEvents[2].Name != "check" || file.TraceEvents[2].TS != 140 {
+		t.Errorf("events not start-ordered: %+v", file.TraceEvents)
+	}
+	for _, ev := range file.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("event %s has phase %q, want X", ev.Name, ev.Ph)
+		}
+	}
+	if file.TraceEvents[0].Name == "open/open" && file.TraceEvents[0].Args["tests"] != 6.0 {
+		t.Errorf("args lost: %+v", file.TraceEvents[0])
+	}
+}
+
+func TestPackLanes(t *testing.T) {
+	// Three overlapping intervals need three lanes; a fourth starting
+	// after the first ends reuses lane 1.
+	start := []float64{0, 1, 2, 11}
+	dur := []float64{10, 10, 10, 1}
+	lanes := PackLanes(start, dur)
+	if lanes[0] != 1 || lanes[1] != 2 || lanes[2] != 3 {
+		t.Errorf("overlapping intervals got lanes %v", lanes[:3])
+	}
+	if lanes[3] != 1 {
+		t.Errorf("non-overlapping interval got lane %d, want 1 (reuse)", lanes[3])
+	}
+	if got := PackLanes(nil, nil); len(got) != 0 {
+		t.Errorf("empty input got %v", got)
+	}
+}

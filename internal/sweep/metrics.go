@@ -1,0 +1,93 @@
+package sweep
+
+import (
+	"log/slog"
+
+	"repro/internal/obs"
+	"repro/internal/sym"
+)
+
+// Process-wide sweep metrics, recorded into the obs.Default registry that
+// `commuter serve` exposes at /metrics. They aggregate across every sweep
+// in the process (a serve instance's whole client population); per-run
+// numbers stay on Result/PairResult.
+var (
+	metricSweepsInflight = obs.Default.Gauge(
+		"commuter_sweeps_inflight",
+		"Sweeps currently executing in this process.")
+	metricPairsTotal = obs.Default.CounterVec(
+		"commuter_sweep_pairs_total",
+		"Finished sweep pairs by outcome (computed or served from cache).",
+		"outcome")
+	metricPhaseSeconds = obs.Default.HistogramVec(
+		"commuter_sweep_phase_seconds",
+		"Per-pair wall time spent in each pipeline phase.",
+		obs.DefBuckets, "phase")
+	metricTestgenHits = obs.Default.Counter(
+		"commuter_cache_testgen_hits_total",
+		"TESTGEN-tier cache hits (pairs whose symbolic analysis was skipped).")
+	metricTestgenMisses = obs.Default.Counter(
+		"commuter_cache_testgen_misses_total",
+		"TESTGEN-tier cache misses (pairs whose symbolic analysis ran).")
+	metricCheckHits = obs.Default.Counter(
+		"commuter_cache_check_hits_total",
+		"CHECK-tier cache hits (kernel cells served without replaying tests).")
+	metricCheckMisses = obs.Default.Counter(
+		"commuter_cache_check_misses_total",
+		"CHECK-tier cache misses (kernel cells recomputed under mtrace).")
+	metricCacheWriteErrors = obs.Default.Counter(
+		"commuter_cache_write_errors_total",
+		"Cache entries that could not be stored (best-effort writes).")
+	metricSatCalls = obs.Default.Counter(
+		"commuter_solver_sat_calls_total",
+		"Backtracking satisfiability searches started by sweep pairs.")
+	metricBudgetHits = obs.Default.Counter(
+		"commuter_solver_budget_exhaustions_total",
+		"Solver searches that exhausted the step budget (unknown verdicts).")
+)
+
+// The intern table is process-wide and already keeps its own totals;
+// expose them as scrape-time counters instead of mirroring every bump.
+func init() {
+	obs.Default.CounterFunc(
+		"commuter_sym_intern_hits_total",
+		"Hash-consing intern-table hits (constructors that reused a live node).",
+		func() float64 { h, _ := sym.InternStats(); return float64(h) })
+	obs.Default.CounterFunc(
+		"commuter_sym_intern_misses_total",
+		"Hash-consing intern-table misses (newly interned nodes).",
+		func() float64 { _, m := sym.InternStats(); return float64(m) })
+}
+
+// observePair folds one finished pair into the process-wide metrics and
+// emits the engine's debug log line.
+func observePair(pr *PairResult) {
+	outcome := "computed"
+	if pr.Cached {
+		outcome = "cached"
+	}
+	metricPairsTotal.With(outcome).Inc()
+	if !pr.Cached {
+		metricPhaseSeconds.With("analyze").Observe(pr.Phases.AnalyzeMS / 1e3)
+		metricPhaseSeconds.With("testgen").Observe(pr.Phases.TestgenMS / 1e3)
+		metricPhaseSeconds.With("check").Observe(pr.Phases.CheckMS / 1e3)
+		metricPhaseSeconds.With("solver").Observe(pr.Phases.SolverMS / 1e3)
+	}
+	if pr.Solver.SatCalls > 0 {
+		metricSatCalls.Add(uint64(pr.Solver.SatCalls))
+	}
+	if pr.Solver.BudgetHits > 0 {
+		metricBudgetHits.Add(uint64(pr.Solver.BudgetHits))
+	}
+	slog.Debug("sweep: pair done",
+		"pair", pr.Pair(),
+		"tests", pr.Tests,
+		"cached", pr.Cached,
+		"unknown", pr.Unknown,
+		"elapsed_ms", pr.ElapsedMS,
+		"analyze_ms", pr.Phases.AnalyzeMS,
+		"testgen_ms", pr.Phases.TestgenMS,
+		"check_ms", pr.Phases.CheckMS,
+		"solver_ms", pr.Phases.SolverMS,
+		"sat_calls", pr.Solver.SatCalls)
+}

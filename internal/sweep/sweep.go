@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/analyzer"
 	"repro/internal/kernel"
+	"repro/internal/obs"
 	"repro/internal/spec"
 	"repro/internal/sym"
 	"repro/internal/testgen"
@@ -115,6 +116,51 @@ type PairResult struct {
 	Cached bool `json:"cached,omitempty"`
 	// ElapsedMS is the wall time this pair took in this sweep.
 	ElapsedMS float64 `json:"elapsed_ms"`
+	// StartMS is when this pair started, in milliseconds from the start
+	// of its sweep — with ElapsedMS it places the pair on the sweep's
+	// timeline, which is what the -trace Chrome export renders.
+	StartMS float64 `json:"start_ms,omitempty"`
+	// Phases breaks ElapsedMS down by pipeline phase. All zero for a
+	// fully cached pair (nothing was recomputed).
+	Phases PhaseTimes `json:"phases,omitzero"`
+	// Solver counts the pair's symbolic-search work. All zero for a
+	// fully cached pair.
+	Solver SolverCounters `json:"solver,omitzero"`
+}
+
+// PhaseTimes is a per-pair wall-time breakdown by pipeline phase. The
+// three phase times are disjoint and their sum is bounded by the pair's
+// ElapsedMS (the remainder is cache I/O and scheduling); SolverMS is the
+// time inside satisfiability searches, a subset of AnalyzeMS+TestgenMS,
+// tracked separately because "make CHECK fast" and "make the solver
+// fast" are different optimization targets.
+type PhaseTimes struct {
+	// AnalyzeMS is the ANALYZE phase: symbolic execution of both
+	// permutations plus per-path commutativity classification.
+	AnalyzeMS float64 `json:"analyze_ms,omitempty"`
+	// TestgenMS is the TESTGEN phase: isomorphism-class enumeration and
+	// concrete test construction.
+	TestgenMS float64 `json:"testgen_ms,omitempty"`
+	// CheckMS is the CHECK phase: replaying generated tests on every
+	// kernel under mtrace, summed across kernels.
+	CheckMS float64 `json:"check_ms,omitempty"`
+	// SolverMS is the wall time inside the solver's backtracking
+	// searches (analyzer and testgen solvers combined).
+	SolverMS float64 `json:"solver_ms,omitempty"`
+}
+
+// SolverCounters aggregates the pair's solver and intern-table traffic.
+type SolverCounters struct {
+	// SatCalls counts backtracking searches run for this pair.
+	SatCalls int64 `json:"sat_calls,omitempty"`
+	// BudgetHits counts searches that exhausted the step budget (each
+	// one is an "unknown", not a proof; see PairResult.Unknown).
+	BudgetHits int64 `json:"budget_exhaustions,omitempty"`
+	// InternHits counts intern-table hits observed while the pair ran.
+	// The table is process-wide, so under a parallel sweep concurrent
+	// pairs' hits land in whichever pair observes them — per-pair
+	// attribution is approximate, but the sum across pairs is exact.
+	InternHits int64 `json:"intern_hits,omitempty"`
 }
 
 // Pair is "opA/opB", the identifier used in progress events.
@@ -197,6 +243,9 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		enc = json.NewEncoder(cfg.Artifact)
 	}
 
+	metricSweepsInflight.Inc()
+	defer metricSweepsInflight.Dec()
+
 	var (
 		failed   atomic.Bool // fail fast: stop starting pairs after the first error
 		counters runCounters
@@ -206,7 +255,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			return
 		}
 		j := jobs[i]
-		pr, err := runPair(ctx, sp, j[0], j[1], cfg, &counters)
+		pr, err := runPair(ctx, sp, j[0], j[1], cfg, start, &counters)
 		results[i], errs[i] = pr, err
 		if err != nil {
 			failed.Store(true)
@@ -286,12 +335,14 @@ func (c *runCounters) stats() CacheStats {
 	}
 }
 
-// count bumps hits or misses.
-func count(hit bool, hits, misses *atomic.Int64) {
+// count bumps the run-local and the process-wide hit/miss counters.
+func count(hit bool, hits, misses *atomic.Int64, mHits, mMisses *obs.Counter) {
 	if hit {
 		hits.Add(1)
+		mHits.Inc()
 	} else {
 		misses.Add(1)
+		mMisses.Inc()
 	}
 }
 
@@ -301,9 +352,15 @@ func count(hit bool, hits, misses *atomic.Int64) {
 // kernel against the (cached or fresh) tests. Cache writes are
 // best-effort, mirroring the read side's degradation contract: a failed
 // store costs incrementality, never the sweep.
-func runPair(ctx context.Context, sp spec.Spec, a, b *spec.Op, cfg Config, counters *runCounters) (PairResult, error) {
+//
+// Along the way it records the pair's observability record: per-phase
+// wall times, solver counters (snapshot deltas, so a caller-shared
+// solver attributes only this pair's work) and intern-table traffic,
+// both on the PairResult and in the process-wide obs registry.
+func runPair(ctx context.Context, sp spec.Spec, a, b *spec.Op, cfg Config, sweepStart time.Time, counters *runCounters) (PairResult, error) {
 	start := time.Now()
-	out := PairResult{OpA: a.Name, OpB: b.Name}
+	out := PairResult{OpA: a.Name, OpB: b.Name, StartMS: msBetween(sweepStart, start)}
+	internHits0, _ := sym.InternStats()
 
 	var (
 		tgKey     string
@@ -316,29 +373,44 @@ func runPair(ctx context.Context, sp spec.Spec, a, b *spec.Op, cfg Config, count
 		// A hit is complete by construction (truncated results are never
 		// stored below), so unknown stays 0.
 		tests, haveTests = cfg.Cache.GetTests(tgKey)
-		count(haveTests, &counters.tgHits, &counters.tgMisses)
+		count(haveTests, &counters.tgHits, &counters.tgMisses, metricTestgenHits, metricTestgenMisses)
 	}
 	if !haveTests {
-		pr, err := analyzer.AnalyzePairCtx(ctx, sp, a, b, cfg.Analyzer)
+		aOpt := cfg.Analyzer
+		if aOpt.Solver == nil {
+			// The analyzer would build this per-pair solver itself; build
+			// it here instead so its search counters can be read after
+			// the phase. The cache key deliberately excludes solvers, and
+			// a fresh solver per pair preserves the engine's parallelism
+			// (only a shared caller-provided solver forces workers=1
+			// above).
+			aOpt.Solver = &sym.Solver{Stop: func() bool { return ctx.Err() != nil }}
+		}
+		aStats0 := aOpt.Solver.Stats()
+		phaseStart := time.Now()
+		pr, err := analyzer.AnalyzePairCtx(ctx, sp, a, b, aOpt)
+		out.Phases.AnalyzeMS = msSince(phaseStart)
 		if err != nil {
 			return out, fmt.Errorf("sweep %s: %w", out.Pair(), err)
 		}
 		gOpt := cfg.Testgen
 		if gOpt.Solver == nil {
 			// TESTGEN runs its own searches; give it a per-pair solver
-			// wired to the context so cancellation lands there too. The
-			// cache key deliberately excludes solvers, and a fresh solver
-			// per pair preserves the engine's parallelism (only a shared
-			// caller-provided solver forces workers=1 above).
+			// wired to the context so cancellation lands there too.
 			gOpt.Solver = &sym.Solver{Stop: func() bool { return ctx.Err() != nil }}
 		}
+		gStats0 := gOpt.Solver.Stats()
+		phaseStart = time.Now()
 		var truncated int
 		tests, truncated = testgen.GenerateChecked(sp, pr, gOpt)
+		out.Phases.TestgenMS = msSince(phaseStart)
 		if err := ctx.Err(); err != nil {
 			// A cancelled generation pass is truncated, not short: drop it
 			// before its lower-bound test set can reach the cache or a cell.
 			return out, fmt.Errorf("sweep %s: %w", out.Pair(), err)
 		}
+		recordSolverDelta(&out, aOpt.Solver.Stats(), aStats0)
+		recordSolverDelta(&out, gOpt.Solver.Stats(), gStats0)
 		unknown = pr.Unknown() + truncated
 		if cfg.Cache != nil && unknown == 0 {
 			// Budget-truncated results are never stored: the cache key
@@ -348,6 +420,7 @@ func runPair(ctx context.Context, sp spec.Spec, a, b *spec.Op, cfg Config, count
 			// pair recomputes on every sweep until some run affords it.
 			if err := cfg.Cache.PutTests(tgKey, tests); err != nil {
 				counters.writeErrs.Add(1)
+				metricCacheWriteErrors.Inc()
 			}
 		}
 	}
@@ -366,11 +439,13 @@ func runPair(ctx context.Context, sp spec.Spec, a, b *spec.Op, cfg Config, count
 			if cl, ok := cfg.Cache.GetCell(ckKey); ok {
 				cell, hit = *cl, true
 			}
-			count(hit, &counters.ckHits, &counters.ckMisses)
+			count(hit, &counters.ckHits, &counters.ckMisses, metricCheckHits, metricCheckMisses)
 		}
 		if !hit {
 			cached = false
+			phaseStart := time.Now()
 			total, conflicts, err := CheckTestsCtx(ctx, ks.New, tests)
+			out.Phases.CheckMS += msSince(phaseStart)
 			if err != nil {
 				return out, fmt.Errorf("sweep %s on %s: %w", out.Pair(), ks.Name, err)
 			}
@@ -382,6 +457,7 @@ func runPair(ctx context.Context, sp spec.Spec, a, b *spec.Op, cfg Config, count
 			if cfg.Cache != nil && unknown == 0 {
 				if err := cfg.Cache.PutCell(ckKey, cell); err != nil {
 					counters.writeErrs.Add(1)
+					metricCacheWriteErrors.Inc()
 				}
 			}
 		}
@@ -389,7 +465,18 @@ func runPair(ctx context.Context, sp spec.Spec, a, b *spec.Op, cfg Config, count
 	}
 	out.Cached = cached
 	out.ElapsedMS = msSince(start)
+	internHits1, _ := sym.InternStats()
+	out.Solver.InternHits = int64(internHits1 - internHits0)
+	observePair(&out)
 	return out, nil
+}
+
+// recordSolverDelta folds one solver's work since the snapshot into the
+// pair's counters and phase times.
+func recordSolverDelta(out *PairResult, now, before sym.SolverStats) {
+	out.Solver.SatCalls += now.SatCalls - before.SatCalls
+	out.Solver.BudgetHits += now.BudgetHits - before.BudgetHits
+	out.Phases.SolverMS += float64(now.SearchTime-before.SearchTime) / float64(time.Millisecond)
 }
 
 // Pairs enumerates the unordered pairs of ops in the orientation the whole
@@ -436,6 +523,10 @@ func CheckTestsCtx(ctx context.Context, fresh func() kernel.Kernel, tests []kern
 
 func msSince(t time.Time) float64 {
 	return float64(time.Since(t)) / float64(time.Millisecond)
+}
+
+func msBetween(a, b time.Time) float64 {
+	return float64(b.Sub(a)) / float64(time.Millisecond)
 }
 
 // Parallel runs fn(i) for every i in [0, n) on up to workers goroutines

@@ -79,6 +79,9 @@ func stripTiming(pairs []PairResult) []PairResult {
 	for i, p := range pairs {
 		p.ElapsedMS = 0
 		p.Cached = false
+		p.StartMS = 0
+		p.Phases = PhaseTimes{}
+		p.Solver = SolverCounters{}
 		out[i] = p
 	}
 	return out

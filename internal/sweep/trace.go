@@ -1,0 +1,72 @@
+package sweep
+
+import (
+	"io"
+
+	"repro/internal/obs"
+)
+
+// WriteTrace renders a finished sweep as a Chrome trace-event file
+// (loadable in chrome://tracing or https://ui.perfetto.dev). Each pair
+// becomes a top-level span placed at its recorded start offset, with its
+// analyze/testgen/check phases nested inside; spans are packed onto the
+// fewest lanes (trace "threads") that keep overlapping pairs separate,
+// which visually reconstructs the worker schedule of the sweep.
+//
+// Pairs served entirely from cache carry no phase breakdown; they appear
+// as a single short span tagged cached=true.
+func WriteTrace(w io.Writer, res *Result) error {
+	starts := make([]float64, len(res.Pairs))
+	durs := make([]float64, len(res.Pairs))
+	for i, p := range res.Pairs {
+		starts[i] = p.StartMS
+		durs[i] = p.ElapsedMS
+	}
+	lanes := obs.PackLanes(starts, durs)
+
+	var spans []obs.Span
+	for i, p := range res.Pairs {
+		tid := lanes[i]
+		spans = append(spans, obs.Span{
+			Name:    p.Pair(),
+			Cat:     "pair",
+			StartUS: p.StartMS * 1e3,
+			DurUS:   p.ElapsedMS * 1e3,
+			PID:     1,
+			TID:     tid,
+			Args: map[string]any{
+				"tests":     p.Tests,
+				"cached":    p.Cached,
+				"unknown":   p.Unknown,
+				"sat_calls": p.Solver.SatCalls,
+			},
+		})
+		if p.Cached {
+			continue
+		}
+		// Phases ran back to back in this order inside the pair span.
+		cursor := p.StartMS * 1e3
+		for _, ph := range []struct {
+			name string
+			ms   float64
+		}{
+			{"analyze", p.Phases.AnalyzeMS},
+			{"testgen", p.Phases.TestgenMS},
+			{"check", p.Phases.CheckMS},
+		} {
+			if ph.ms <= 0 {
+				continue
+			}
+			spans = append(spans, obs.Span{
+				Name:    ph.name,
+				Cat:     "phase",
+				StartUS: cursor,
+				DurUS:   ph.ms * 1e3,
+				PID:     1,
+				TID:     tid,
+			})
+			cursor += ph.ms * 1e3
+		}
+	}
+	return obs.WriteChromeTrace(w, spans)
+}

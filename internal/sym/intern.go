@@ -69,6 +69,18 @@ func newInterner() *interner {
 
 var defaultInterner = newInterner()
 
+// Process-wide intern-table traffic counters. A hit means a constructor
+// returned an already-live node (structure sharing paid off); a miss
+// means a new node was interned. They are monotonically increasing for
+// the process lifetime, so observers (the obs metrics layer, per-pair
+// sweep deltas) read them as totals and difference snapshots themselves.
+var internHitCount, internMissCount atomic.Uint64
+
+// InternStats returns the process-wide intern-table hit and miss totals.
+func InternStats() (hits, misses uint64) {
+	return internHitCount.Load(), internMissCount.Load()
+}
+
 // maxSize caps the unfolded-size estimate so heavily shared DAGs (whose
 // tree unfolding grows exponentially) cannot overflow it. The cap is far
 // above every memoization threshold, so capping loses nothing.
@@ -138,6 +150,7 @@ func intern(op Op, sort Sort, i64 int64, b bool, name string, args []*Expr) *Exp
 				sh.m[h] = compactBucket(bucket)
 			}
 			sh.mu.Unlock()
+			internHitCount.Add(1)
 			return e
 		}
 	}
@@ -166,6 +179,7 @@ func intern(op Op, sort Sort, i64 int64, b bool, name string, args []*Expr) *Exp
 		sh.compact()
 	}
 	sh.mu.Unlock()
+	internMissCount.Add(1)
 	return e
 }
 

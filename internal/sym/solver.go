@@ -3,6 +3,7 @@ package sym
 import (
 	"fmt"
 	"sort"
+	"time"
 )
 
 // Value is a concrete value assigned to a variable by a model.
@@ -346,6 +347,7 @@ type Solver struct {
 
 	steps    int
 	exceeded bool
+	stats    SolverStats
 
 	// Reusable assignment arrays, sized by the largest interned variable
 	// id seen. Backtracking always unsets what it set, so the arrays are
@@ -353,6 +355,26 @@ type Solver struct {
 	asnVals []Value
 	asnSet  []bool
 }
+
+// SolverStats counts one Solver's search work since construction. A
+// Solver is single-flight, so reads are only consistent between calls —
+// the pipeline snapshots stats per pair to attribute solver work to the
+// pair that caused it.
+type SolverStats struct {
+	// SatCalls counts backtracking searches started (every public
+	// entry point — Solve, Sat, Enumerate, SatAssuming — funnels into
+	// exactly one search; syntactic short-circuits that avoid the search
+	// entirely are not counted).
+	SatCalls int64
+	// BudgetHits counts searches that exhausted MaxSteps (or were aborted
+	// by the Stop hook): answers that are "unknown", not proofs.
+	BudgetHits int64
+	// SearchTime is the wall time spent inside searches.
+	SearchTime time.Duration
+}
+
+// Stats returns the cumulative search counters.
+func (s *Solver) Stats() SolverStats { return s.stats }
 
 // Budget reports whether the previous Solve/Sat/Enumerate/SatAssuming call
 // ran out of steps before exhausting the search space — i.e. whether an
@@ -542,6 +564,14 @@ func (s *Solver) Enumerate(e *Expr, cb func(Model) bool) {
 func (s *Solver) enumerateConjs(conjs []*Expr, cb func(Model) bool) {
 	s.steps = 0
 	s.exceeded = false
+	s.stats.SatCalls++
+	searchStart := time.Now()
+	defer func() {
+		s.stats.SearchTime += time.Since(searchStart)
+		if s.exceeded {
+			s.stats.BudgetHits++
+		}
+	}()
 	for _, c := range conjs {
 		if c.IsFalse() {
 			return
