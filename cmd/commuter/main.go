@@ -414,8 +414,11 @@ func runSweep(ctx context.Context, cli commuter.Client, artifactPath string, opt
 		}
 		if ev := upd.Progress; ev != nil {
 			from := "computed"
-			if ev.Cached {
+			switch {
+			case ev.Cached:
 				from = "cached"
+			case ev.Coalesced:
+				from = "coalesced"
 			}
 			fmt.Fprintf(os.Stderr, "[%3d/%3d] %-20s %4d tests %-8s in %.0fms (total %v)\n",
 				ev.Done, ev.Total, ev.Pair, ev.Tests, from, ev.PairMS, ev.Elapsed.Round(time.Millisecond))
@@ -490,7 +493,7 @@ func cmdSweep(args []string) {
 	specName := specFlag(fs)
 	server := serverFlag(fs)
 	j := fs.Int("j", 0, "worker pool size (default: executing side's CPUs)")
-	cacheDir := fs.String("cache", "", "result cache directory (empty disables caching; server-side caches are set by `serve -cache`)")
+	cacheDir := fs.String("cache", "", "result cache backend: a directory (or dir:PATH), mem[:N], an http(s) server URL, or a comma list layered fastest-first (empty disables caching; server-side caches are set by `serve -cache`)")
 	out := fs.String("out", "", "write per-pair results as JSONL to this file")
 	kern := fs.String("kernel", "both", `implementation names, or "both"/"all" for every one`)
 	perPath := fs.Int("per-path", 4, "max isomorphism classes per path")

@@ -29,7 +29,7 @@ import (
 func cmdServe(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", "localhost:8372", "listen address")
-	cacheDir := fs.String("cache", "", "shared sweep result cache directory (empty disables caching)")
+	cacheDir := fs.String("cache", "", "shared sweep result cache backend: a directory (or dir:PATH), mem[:N], a peer server's http(s) URL, or a comma list layered fastest-first (empty disables caching)")
 	j := fs.Int("j", runtime.NumCPU(), "default worker pool size for sweeps that don't request one")
 	grace := fs.Duration("grace", 15*time.Second, "shutdown drain bound: how long in-flight requests may run before being cancelled")
 	pprofOn := fs.Bool("pprof", false, "mount the runtime profiler on /debug/pprof/ (exposes stacks; keep the listener trusted)")

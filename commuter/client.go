@@ -105,7 +105,7 @@ type callOptions struct {
 	perPath  int
 	workers  int
 	cacheDir string
-	cache    *sweep.Cache
+	cache    sweep.Backend
 	ops      string
 	kernels  []string
 }
@@ -129,15 +129,18 @@ func WithTestsPerPath(n int) Option { return func(o *callOptions) { o.perPath = 
 // executing side).
 func WithWorkers(n int) Option { return func(o *callOptions) { o.workers = n } }
 
-// WithCache enables the two-tier on-disk sweep cache rooted at dir. It
-// applies to Local clients; a Dial client rejects it — the serving side's
-// cache is configured by `commuter serve -cache`.
-func WithCache(dir string) Option { return func(o *callOptions) { o.cacheDir = dir } }
+// WithCache enables the two-tier sweep cache described by spec: a bare
+// path or "dir:PATH" for the on-disk backend, "mem[:N]" for a bounded
+// in-memory LRU, an http(s) URL for a peer `commuter serve` instance's
+// shared cache, or a comma list layering tiers fastest-first (see
+// sweep.OpenBackend). It applies to Local clients; a Dial client rejects
+// it — the serving side's cache is configured by `commuter serve -cache`.
+func WithCache(spec string) Option { return func(o *callOptions) { o.cacheDir = spec } }
 
-// withCacheHandle injects an already-open cache, sharing one handle (and
-// its statistics) across calls; the serve endpoint uses it to put the
-// process-wide cache behind every request.
-func withCacheHandle(c *sweep.Cache) Option { return func(o *callOptions) { o.cache = c } }
+// WithCacheBackend injects an already-open cache backend, sharing one
+// handle (and its statistics) across calls; the serve endpoint uses it to
+// put the process-wide cache behind every request.
+func WithCacheBackend(b sweep.Backend) Option { return func(o *callOptions) { o.cache = b } }
 
 // WithOps selects an explicit operation universe for Sweep by name.
 func WithOps(names ...string) Option {

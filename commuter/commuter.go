@@ -91,8 +91,12 @@ type (
 	SolverCounters = sweep.SolverCounters
 	// SweepEvent is one streaming sweep progress report.
 	SweepEvent = sweep.Event
-	// SweepCache is the two-tier on-disk sweep cache (generated tests in a
-	// kernel-independent TESTGEN tier, per-kernel cells in a CHECK tier).
+	// SweepBackend is the pluggable two-tier sweep cache interface
+	// (generated tests in a kernel-independent TESTGEN tier, per-kernel
+	// cells in a CHECK tier); open one with OpenSweepBackend or compose
+	// the sweep package's constructors directly.
+	SweepBackend = sweep.Backend
+	// SweepCache is the on-disk SweepBackend implementation.
 	SweepCache = sweep.Cache
 	// SweepCacheStats counts per-tier cache hits and misses.
 	SweepCacheStats = sweep.CacheStats
@@ -147,6 +151,14 @@ func Sweep(cfg SweepConfig) (*SweepResult, error) { return sweep.Run(cfg) }
 // Deprecated: pass WithCache(dir) to Client.Sweep; the engine opens the
 // cache itself.
 func OpenSweepCache(dir string) (*SweepCache, error) { return sweep.OpenCache(dir) }
+
+// OpenSweepBackend opens a sweep cache backend from its string spec: a
+// directory path (or "dir:PATH"), "mem[:N]" for a bounded in-memory LRU,
+// an http(s) URL naming a peer `commuter serve` instance's shared cache,
+// or a comma list layering tiers fastest-first ("mem:,http://peer").
+// Pass the result to Client.Sweep via WithCacheBackend, or to
+// NewServerHandler via ServeWithBackend.
+func OpenSweepBackend(spec string) (SweepBackend, error) { return sweep.OpenBackend(spec) }
 
 // SweepKernels builds posix kernel specs by name ("linux", "sv6"); with
 // no arguments it returns both. An unknown name returns an error listing

@@ -211,7 +211,7 @@ func (o *callOptions) sweepConfig() (sweep.Config, error) {
 		Cache:    o.cache,
 	}
 	if cfg.Cache == nil && o.cacheDir != "" {
-		if cfg.Cache, err = sweep.OpenCache(o.cacheDir); err != nil {
+		if cfg.Cache, err = sweep.OpenBackend(o.cacheDir); err != nil {
 			return sweep.Config{}, err
 		}
 	}

@@ -7,11 +7,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
-	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/api"
@@ -23,18 +24,30 @@ import (
 type ServerOption func(*serverOptions)
 
 type serverOptions struct {
-	cacheDir string
-	workers  int
-	logger   *slog.Logger
-	pprof    bool
+	cacheSpec string
+	backend   sweep.Backend
+	workers   int
+	logger    *slog.Logger
+	pprof     bool
 }
 
-// ServeWithCache hosts the two-tier sweep cache rooted at dir behind
+// ServeWithCache hosts the two-tier sweep cache described by spec behind
 // every sweep the handler serves: one shared handle, so concurrent
 // clients' sweeps serve and warm the same entries, and per-request
-// results report per-request hit/miss statistics.
-func ServeWithCache(dir string) ServerOption {
-	return func(o *serverOptions) { o.cacheDir = dir }
+// results report per-request hit/miss statistics. The spec is anything
+// sweep.OpenBackend accepts — a directory path (or "dir:PATH"), "mem[:N]"
+// for a bounded in-memory LRU, an http(s) URL naming a peer server's
+// shared cache, or a comma list layering tiers fastest-first.
+func ServeWithCache(spec string) ServerOption {
+	return func(o *serverOptions) { o.cacheSpec = spec }
+}
+
+// ServeWithBackend hosts an already-open cache backend behind every sweep
+// the handler serves; it takes precedence over ServeWithCache. Use it to
+// share one handle (and its statistics) with the rest of the process, or
+// to inject a backend composition OpenBackend syntax cannot express.
+func ServeWithBackend(b sweep.Backend) ServerOption {
+	return func(o *serverOptions) { o.backend = b }
 }
 
 // ServeWithWorkers sets the worker-pool size used for sweep requests that
@@ -74,13 +87,13 @@ func NewServerHandler(backend Client, opts ...ServerOption) (http.Handler, error
 	for _, f := range opts {
 		f(&so)
 	}
-	s := &server{backend: backend, workers: so.workers, log: so.logger}
+	s := &server{backend: backend, cache: so.backend, workers: so.workers, log: so.logger}
 	if s.log == nil {
 		s.log = slog.Default()
 	}
-	if so.cacheDir != "" {
+	if s.cache == nil && so.cacheSpec != "" {
 		var err error
-		if s.cache, err = sweep.OpenCache(so.cacheDir); err != nil {
+		if s.cache, err = sweep.OpenBackend(so.cacheSpec); err != nil {
 			return nil, err
 		}
 	}
@@ -91,6 +104,8 @@ func NewServerHandler(backend Client, opts ...ServerOption) (http.Handler, error
 	mux.HandleFunc("POST "+api.PathTestgen, s.testgen)
 	mux.HandleFunc("POST "+api.PathCheck, s.check)
 	mux.HandleFunc("POST "+api.PathSweep, s.sweep)
+	mux.HandleFunc("GET "+sweep.CacheRoutePrefix+"/{tier}/{key}", s.cacheGet)
+	mux.HandleFunc("PUT "+sweep.CacheRoutePrefix+"/{tier}/{key}", s.cachePut)
 	mux.Handle("GET "+api.PathMetrics, obs.Handler(obs.Default))
 	if so.pprof {
 		// Mounted on this mux explicitly (the pprof package's init only
@@ -106,7 +121,7 @@ func NewServerHandler(backend Client, opts ...ServerOption) (http.Handler, error
 
 type server struct {
 	backend Client
-	cache   *sweep.Cache
+	cache   sweep.Backend
 	workers int
 	log     *slog.Logger
 }
@@ -257,26 +272,130 @@ func writeResult(w http.ResponseWriter, r *http.Request, v any, err error) {
 }
 
 // health reports readiness, not just liveness: a server whose cache
-// directory has become unwritable (disk full, volume unmounted, perms
-// clobbered) would serve every sweep degraded — cold and non-incremental
+// backend has stopped accepting writes (disk full, volume unmounted,
+// peer down) would serve every sweep degraded — cold and non-incremental
 // — so it answers 503 and lets the orchestrator rotate it out instead of
-// answering an unconditional 200.
+// answering an unconditional 200. What "writable" means is the backend's
+// call: the disk backend probes a temp-file create, an HTTP backend
+// probes its peer's own /healthz, a tiered stack requires every tier.
 func (s *server) health(w http.ResponseWriter, r *http.Request) {
 	if s.cache != nil {
-		f, err := os.CreateTemp(s.cache.Dir(), ".healthz-*")
-		if err != nil {
+		if err := s.cache.Ready(); err != nil {
 			w.Header().Set("Content-Type", "application/json")
 			w.WriteHeader(http.StatusServiceUnavailable)
 			json.NewEncoder(w).Encode(map[string]any{
 				"status": "unhealthy", "api_version": api.Version,
-				"error": fmt.Sprintf("sweep cache not writable: %v", err),
+				"error": err.Error(),
 			})
 			return
 		}
-		f.Close()
-		os.Remove(f.Name())
 	}
 	writeResult(w, r, map[string]any{"status": "ok", "api_version": api.Version}, nil)
+}
+
+// cacheEntryKey validates a cache route's path parts. Keys are content
+// addresses (lowercase hex SHA-256), so anything else — and any tier but
+// the two known ones — is a malformed request, which also rules out path
+// escapes before a key ever reaches a backend.
+func cacheEntryKey(w http.ResponseWriter, r *http.Request) (tier, key string, ok bool) {
+	tier, key = r.PathValue("tier"), r.PathValue("key")
+	if tier != sweep.TierTestgen && tier != sweep.TierCheck {
+		writeError(w, api.Errorf(api.CodeBadRequest, "unknown cache tier %q (known: %s, %s)",
+			tier, sweep.TierTestgen, sweep.TierCheck))
+		return "", "", false
+	}
+	if len(key) != 64 || strings.IndexFunc(key, func(c rune) bool {
+		return !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f')
+	}) != -1 {
+		writeError(w, api.Errorf(api.CodeBadRequest, "malformed cache key %q", key))
+		return "", "", false
+	}
+	return tier, key, true
+}
+
+// cacheGet serves one cache entry in its canonical on-disk encoding; a
+// miss (including any decode defect below) is a 404. Together with
+// cachePut this is what sweep.NewHTTPBackend speaks, letting a fleet of
+// servers share this instance's cache.
+func (s *server) cacheGet(w http.ResponseWriter, r *http.Request) {
+	if s.cache == nil {
+		writeError(w, api.Errorf(api.CodeBadRequest, "this server hosts no cache (start it with -cache)"))
+		return
+	}
+	tier, key, ok := cacheEntryKey(w, r)
+	if !ok {
+		return
+	}
+	var (
+		data []byte
+		err  error
+		hit  bool
+	)
+	switch tier {
+	case sweep.TierTestgen:
+		if tests, found := s.cache.GetTests(key); found {
+			data, err = sweep.EncodeTestsEntry(key, tests)
+			hit = true
+		}
+	case sweep.TierCheck:
+		if cell, found := s.cache.GetCell(key); found {
+			data, err = sweep.EncodeCellEntry(key, *cell)
+			hit = true
+		}
+	}
+	if err != nil {
+		writeError(w, api.Errorf(api.CodeInternal, "encode cache entry: %v", err))
+		return
+	}
+	if !hit {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(api.Errorf(api.CodeBadRequest, "no %s entry for %s", tier, key))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+// cachePut stores one cache entry. The body must be the canonical entry
+// encoding for this key — the same self-validating format the disk
+// backend stores — so a corrupt, stale-version or mis-keyed body is a
+// 400, never a stored entry.
+func (s *server) cachePut(w http.ResponseWriter, r *http.Request) {
+	if s.cache == nil {
+		writeError(w, api.Errorf(api.CodeBadRequest, "this server hosts no cache (start it with -cache)"))
+		return
+	}
+	tier, key, ok := cacheEntryKey(w, r)
+	if !ok {
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err != nil {
+		writeError(w, api.Errorf(api.CodeBadRequest, "read cache entry: %v", err))
+		return
+	}
+	switch tier {
+	case sweep.TierTestgen:
+		tests, valid := sweep.DecodeTestsEntry(key, data)
+		if !valid {
+			writeError(w, api.Errorf(api.CodeBadRequest, "body is not a valid %s entry for %s", tier, key))
+			return
+		}
+		err = s.cache.PutTests(key, tests)
+	case sweep.TierCheck:
+		cell, valid := sweep.DecodeCellEntry(key, data)
+		if !valid {
+			writeError(w, api.Errorf(api.CodeBadRequest, "body is not a valid %s entry for %s", tier, key))
+			return
+		}
+		err = s.cache.PutCell(key, *cell)
+	}
+	if err != nil {
+		writeError(w, api.Errorf(api.CodeInternal, "store cache entry: %v", err))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *server) specs(w http.ResponseWriter, r *http.Request) {
@@ -326,7 +445,7 @@ func (s *server) sweep(w http.ResponseWriter, r *http.Request) {
 	}
 	opts := optionsFromWire(req.Options)
 	if s.cache != nil {
-		opts = append(opts, withCacheHandle(s.cache))
+		opts = append(opts, WithCacheBackend(s.cache))
 	}
 	if req.Options.Workers == 0 && s.workers > 0 {
 		opts = append(opts, WithWorkers(s.workers))

@@ -255,6 +255,7 @@ type Progress struct {
 	Total     int     `json:"total"`
 	Tests     int     `json:"tests"`
 	Cached    bool    `json:"cached,omitempty"`
+	Coalesced bool    `json:"coalesced,omitempty"`
 	PairMS    float64 `json:"pair_ms"`
 	ElapsedMS float64 `json:"elapsed_ms"`
 }
@@ -267,6 +268,7 @@ func ProgressFromEvent(ev sweep.Event) *Progress {
 		Total:     ev.Total,
 		Tests:     ev.Tests,
 		Cached:    ev.Cached,
+		Coalesced: ev.Coalesced,
 		PairMS:    ev.PairMS,
 		ElapsedMS: float64(ev.Elapsed) / float64(time.Millisecond),
 	}
@@ -276,13 +278,14 @@ func ProgressFromEvent(ev sweep.Event) *Progress {
 // (Result stays nil; the pair travels in its own frame field).
 func (p *Progress) Event() sweep.Event {
 	return sweep.Event{
-		Pair:    p.Pair,
-		Done:    p.Done,
-		Total:   p.Total,
-		Tests:   p.Tests,
-		Cached:  p.Cached,
-		PairMS:  p.PairMS,
-		Elapsed: time.Duration(p.ElapsedMS * float64(time.Millisecond)),
+		Pair:      p.Pair,
+		Done:      p.Done,
+		Total:     p.Total,
+		Tests:     p.Tests,
+		Cached:    p.Cached,
+		Coalesced: p.Coalesced,
+		PairMS:    p.PairMS,
+		Elapsed:   time.Duration(p.ElapsedMS * float64(time.Millisecond)),
 	}
 }
 

@@ -1,0 +1,179 @@
+// Package flight provides single-flight coalescing with context-aware
+// leadership handoff: concurrent calls for the same key execute the work
+// once and share the result.
+//
+// It differs from the classic singleflight shape in two ways the sweep
+// engine needs:
+//
+//   - Every caller passes its own work function. Whoever acquires the
+//     flight's token executes; the others wait. This matters because the
+//     leader's closure records side effects (phase timings, cache-hit
+//     accounting) into the leader's own result record — a waiter must not
+//     have its closure run on its behalf by someone else.
+//   - Cancellation has handoff semantics. A waiter whose context ends
+//     leaves immediately with its own ctx error. A leader whose context
+//     ends while waiters remain does not publish the cancellation: it
+//     hands the token back, one of the surviving waiters re-executes, and
+//     only the canceled caller observes the error.
+//
+// A result (value or genuine error) is published to exactly the callers
+// attached at publish time; the flight then retires, so later calls for
+// the same key start fresh. Results must therefore be safe to share
+// (treat shared values as immutable).
+package flight
+
+import (
+	"context"
+	"sync"
+)
+
+// Stat reports how a Do call obtained (or failed to obtain) its result.
+type Stat struct {
+	// Led reports that this caller executed the work function itself.
+	Led bool
+	// Shared reports that the result came from another caller's
+	// execution.
+	Shared bool
+	// HandedOff reports that this caller was a canceled leader that
+	// passed the token to a surviving waiter instead of failing it.
+	HandedOff bool
+}
+
+// Group coalesces concurrent Do calls per key. The zero value is ready to
+// use. Groups must not be copied after first use.
+type Group[V any] struct {
+	mu      sync.Mutex
+	flights map[string]*flight[V]
+}
+
+type flight[V any] struct {
+	// token is the right to execute; capacity 1. It starts full, is
+	// drained by the caller that becomes leader, and is refilled only on
+	// a cancellation handoff.
+	token chan struct{}
+	// done is closed once val/err are published.
+	done chan struct{}
+	// refs counts attached callers (waiters plus leader), under Group.mu.
+	refs int
+
+	val V
+	err error
+}
+
+// Do executes fn under single-flight semantics for key: if no flight for
+// key is in progress this caller leads (runs fn); otherwise it waits for
+// the leader's result. The returned Stat distinguishes the cases.
+//
+// Context semantics: a waiting caller returns ctx.Err() as soon as its
+// context ends. A leading caller whose fn returns an error while its
+// context is canceled is treated as a canceled leader — if waiters
+// remain, the flight's token is handed to one of them (which re-executes
+// its own fn) and the canceled leader returns its error with
+// Stat.HandedOff set.
+func (g *Group[V]) Do(ctx context.Context, key string, fn func() (V, error)) (V, Stat, error) {
+	g.mu.Lock()
+	if g.flights == nil {
+		g.flights = make(map[string]*flight[V])
+	}
+	f, ok := g.flights[key]
+	if !ok {
+		f = &flight[V]{token: make(chan struct{}, 1), done: make(chan struct{})}
+		f.token <- struct{}{}
+		g.flights[key] = f
+	}
+	f.refs++
+	g.mu.Unlock()
+
+	var zero V
+	select {
+	case <-f.done:
+		g.detach(key, f)
+		return f.val, Stat{Shared: true}, f.err
+	case <-ctx.Done():
+		g.detach(key, f)
+		return zero, Stat{}, ctx.Err()
+	case <-f.token:
+		return g.lead(ctx, key, f, fn)
+	}
+}
+
+// Pending reports how many callers are attached to key's in-progress
+// flight, zero when none is active. It exists for tests and monitoring
+// that need to observe coalescing without racing it.
+func (g *Group[V]) Pending(key string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.flights[key]; ok {
+		return f.refs
+	}
+	return 0
+}
+
+// lead runs fn as the flight's leader and publishes or hands off.
+func (g *Group[V]) lead(ctx context.Context, key string, f *flight[V], fn func() (V, error)) (V, Stat, error) {
+	var zero V
+	finished := false
+	// Backstop for a panicking fn: pass the token on (or retire the
+	// flight) so waiters are not stranded, then let the panic continue.
+	defer func() {
+		if !finished {
+			g.release(key, f)
+		}
+	}()
+
+	if cerr := ctx.Err(); cerr != nil {
+		// Canceled between attach and leadership: never ran fn.
+		finished = true
+		return zero, Stat{HandedOff: g.release(key, f)}, cerr
+	}
+	val, err := fn()
+	if err != nil && ctx.Err() != nil {
+		// Canceled mid-work. The error is this caller's context artifact,
+		// not a property of the key — don't publish it to waiters.
+		finished = true
+		return zero, Stat{HandedOff: g.release(key, f)}, err
+	}
+
+	// Publish. The value is set and the flight removed from the map under
+	// one critical section, so a caller arriving now starts a fresh
+	// flight and can never attach to one about to close over a result it
+	// did not ask to share.
+	g.mu.Lock()
+	f.val, f.err = val, err
+	f.refs--
+	if g.flights[key] == f {
+		delete(g.flights, key)
+	}
+	g.mu.Unlock()
+	close(f.done)
+	finished = true
+	return val, Stat{Led: true}, err
+}
+
+// release drops the leader's reference. If waiters remain the token is
+// handed to one of them (reported true); otherwise the flight retires.
+func (g *Group[V]) release(key string, f *flight[V]) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	f.refs--
+	if f.refs > 0 {
+		f.token <- struct{}{}
+		return true
+	}
+	if g.flights[key] == f {
+		delete(g.flights, key)
+	}
+	return false
+}
+
+// detach drops a non-leading caller's reference, retiring the flight if
+// this was the last caller and no result was published (a published
+// flight is already out of the map).
+func (g *Group[V]) detach(key string, f *flight[V]) {
+	g.mu.Lock()
+	f.refs--
+	if f.refs == 0 && g.flights[key] == f {
+		delete(g.flights, key)
+	}
+	g.mu.Unlock()
+}

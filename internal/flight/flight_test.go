@@ -1,0 +1,293 @@
+package flight
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// waitRefs blocks until exactly want callers are attached to key's
+// flight — the white-box barrier the coalescing tests use to make "every
+// caller joined before the result published" deterministic.
+func waitRefs[V any](t *testing.T, g *Group[V], key string, want int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		g.mu.Lock()
+		refs := 0
+		if f := g.flights[key]; f != nil {
+			refs = f.refs
+		}
+		g.mu.Unlock()
+		if refs == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("flight %q never reached %d attached callers (at %d)", key, want, refs)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCoalesce pins the headline property: N concurrent calls for one key
+// execute the work once, exactly one caller leads, and every caller gets
+// the same value.
+func TestCoalesce(t *testing.T) {
+	var g Group[int]
+	const n = 16
+	var execs, leds, shareds atomic.Int32
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	results := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, st, err := g.Do(context.Background(), "k", func() (int, error) {
+				execs.Add(1)
+				<-release // hold the flight open until all callers attach
+				return 42, nil
+			})
+			if err != nil {
+				t.Errorf("Do: %v", err)
+			}
+			results[i] = v
+			if st.Led {
+				leds.Add(1)
+			}
+			if st.Shared {
+				shareds.Add(1)
+			}
+		}()
+	}
+	// Hold the flight open until every caller has attached (white-box:
+	// the refcount is the attachment barrier), so none can arrive after
+	// the publish and lead a second flight.
+	waitRefs(t, &g, "k", n)
+	close(release)
+	wg.Wait()
+
+	if got := execs.Load(); got != 1 {
+		t.Errorf("work executed %d times, want 1", got)
+	}
+	if leds.Load() != 1 || shareds.Load() != n-1 {
+		t.Errorf("led=%d shared=%d, want 1/%d", leds.Load(), shareds.Load(), n-1)
+	}
+	for i, v := range results {
+		if v != 42 {
+			t.Errorf("caller %d got %d, want 42", i, v)
+		}
+	}
+}
+
+// TestDistinctKeysDoNotCoalesce pins that the key is the coalescing unit.
+func TestDistinctKeysDoNotCoalesce(t *testing.T) {
+	var g Group[string]
+	var wg sync.WaitGroup
+	var execs atomic.Int32
+	for _, key := range []string{"a", "b", "c"} {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, _, err := g.Do(context.Background(), key, func() (string, error) {
+				execs.Add(1)
+				return key, nil
+			})
+			if err != nil || v != key {
+				t.Errorf("Do(%q) = %q, %v", key, v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := execs.Load(); got != 3 {
+		t.Errorf("3 distinct keys executed %d times, want 3", got)
+	}
+}
+
+// TestSequentialCallsReExecute pins that a flight retires once published:
+// a later call for the same key runs the work again.
+func TestSequentialCallsReExecute(t *testing.T) {
+	var g Group[int]
+	var execs atomic.Int32
+	for i := 0; i < 3; i++ {
+		if _, st, err := g.Do(context.Background(), "k", func() (int, error) {
+			execs.Add(1)
+			return i, nil
+		}); err != nil || !st.Led {
+			t.Fatalf("call %d: stat=%+v err=%v", i, st, err)
+		}
+	}
+	if got := execs.Load(); got != 3 {
+		t.Errorf("3 sequential calls executed %d times, want 3", got)
+	}
+}
+
+// TestErrorShared pins that a genuine (non-cancellation) failure is a
+// result like any other: published to every attached caller.
+func TestErrorShared(t *testing.T) {
+	var g Group[int]
+	boom := errors.New("boom")
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, errs[0] = g.Do(context.Background(), "k", func() (int, error) {
+			close(started)
+			<-release
+			return 0, boom
+		})
+	}()
+	<-started
+	for i := 1; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _, errs[i] = g.Do(context.Background(), "k", func() (int, error) {
+				t.Error("waiter's fn ran despite a published result")
+				return 0, nil
+			})
+		}()
+	}
+	waitRefs(t, &g, "k", 4)
+	close(release)
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, boom) {
+			t.Errorf("caller %d got %v, want boom", i, err)
+		}
+	}
+}
+
+// TestWaiterCancellation pins that a waiter leaves with its own context
+// error without disturbing the flight.
+func TestWaiterCancellation(t *testing.T) {
+	var g Group[int]
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var leaderVal int
+	go func() {
+		defer wg.Done()
+		leaderVal, _, _ = g.Do(context.Background(), "k", func() (int, error) {
+			close(started)
+			<-release
+			return 7, nil
+		})
+	}()
+	<-started
+
+	wctx, cancel := context.WithCancel(context.Background())
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, _, err := g.Do(wctx, "k", func() (int, error) { return 0, nil })
+		waiterDone <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-waiterDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("canceled waiter got %v, want context.Canceled", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("canceled waiter did not return promptly")
+	}
+
+	close(release)
+	wg.Wait()
+	if leaderVal != 7 {
+		t.Errorf("leader got %d after waiter cancellation, want 7", leaderVal)
+	}
+}
+
+// TestLeaderCancellationHandsOff pins the handoff contract: a canceled
+// leader with waiters returns its own context error with HandedOff set,
+// one waiter re-executes, and every surviving caller gets the new result.
+func TestLeaderCancellationHandsOff(t *testing.T) {
+	var g Group[int]
+	lctx, cancelLeader := context.WithCancel(context.Background())
+	leaderIn := make(chan struct{})
+
+	type outcome struct {
+		v   int
+		st  Stat
+		err error
+	}
+	leaderOut := make(chan outcome, 1)
+	go func() {
+		v, st, err := g.Do(lctx, "k", func() (int, error) {
+			close(leaderIn)
+			<-lctx.Done() // simulate work interrupted by cancellation
+			return 0, lctx.Err()
+		})
+		leaderOut <- outcome{v, st, err}
+	}()
+	<-leaderIn
+
+	const waiters = 4
+	var execs atomic.Int32
+	waiterOut := make(chan outcome, waiters)
+	for i := 0; i < waiters; i++ {
+		go func() {
+			v, st, err := g.Do(context.Background(), "k", func() (int, error) {
+				execs.Add(1)
+				return 99, nil
+			})
+			waiterOut <- outcome{v, st, err}
+		}()
+	}
+	waitRefs(t, &g, "k", waiters+1) // every waiter attached, plus the leader
+	cancelLeader()
+
+	lead := <-leaderOut
+	if !errors.Is(lead.err, context.Canceled) {
+		t.Errorf("canceled leader returned %v, want context.Canceled", lead.err)
+	}
+	if !lead.st.HandedOff {
+		t.Errorf("canceled leader stat %+v, want HandedOff", lead.st)
+	}
+
+	var led int
+	for i := 0; i < waiters; i++ {
+		select {
+		case o := <-waiterOut:
+			if o.err != nil || o.v != 99 {
+				t.Errorf("waiter got (%d, %v), want (99, nil)", o.v, o.err)
+			}
+			if o.st.Led {
+				led++
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("waiter stranded after leader cancellation")
+		}
+	}
+	if execs.Load() != 1 || led != 1 {
+		t.Errorf("after handoff: execs=%d led=%d, want 1/1", execs.Load(), led)
+	}
+}
+
+// TestLeaderCancellationNoWaiters pins the lonely-cancel case: with no
+// waiters the flight retires and the next call starts fresh.
+func TestLeaderCancellationNoWaiters(t *testing.T) {
+	var g Group[int]
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, st, err := g.Do(ctx, "k", func() (int, error) {
+		<-ctx.Done()
+		return 0, ctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) || st.HandedOff || st.Led {
+		t.Errorf("lonely canceled leader: stat=%+v err=%v", st, err)
+	}
+	v, st, err := g.Do(context.Background(), "k", func() (int, error) { return 5, nil })
+	if err != nil || v != 5 || !st.Led {
+		t.Errorf("call after lonely cancel: v=%d stat=%+v err=%v", v, st, err)
+	}
+}

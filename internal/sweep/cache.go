@@ -81,10 +81,15 @@ func CheckKey(testgenKey, kernelName string) string {
 	return hex.EncodeToString(sum[:])
 }
 
-// CacheStats counts hit/miss outcomes per tier.
+// CacheStats counts hit/miss outcomes per tier, plus the disk backend's
+// startup-cleanup accounting.
 type CacheStats struct {
 	TestgenHits, TestgenMisses int
 	CheckHits, CheckMisses     int
+	// TempReclaimed and TempFailed count stale temp files (orphaned by a
+	// sweep killed mid-store) that OpenCache's best-effort cleanup removed
+	// or failed to remove. Always zero for non-disk backends.
+	TempReclaimed, TempFailed int
 }
 
 // Hits sums hits across both tiers.
@@ -104,6 +109,8 @@ func (s CacheStats) Sub(t CacheStats) CacheStats {
 		TestgenMisses: s.TestgenMisses - t.TestgenMisses,
 		CheckHits:     s.CheckHits - t.CheckHits,
 		CheckMisses:   s.CheckMisses - t.CheckMisses,
+		TempReclaimed: s.TempReclaimed - t.TempReclaimed,
+		TempFailed:    s.TempFailed - t.TempFailed,
 	}
 }
 
@@ -144,19 +151,37 @@ const staleTempAge = time.Hour
 // OpenCache opens (creating if needed) the cache rooted at dir. Temp files
 // orphaned by a sweep killed mid-store are swept out (once they're old
 // enough to clearly not belong to a live sweep) so they can't accumulate
-// across interrupted runs.
+// across interrupted runs. The cleanup is best-effort — it can never fail
+// the open — and its outcome is reported through Stats (TempReclaimed /
+// TempFailed) instead of being silently dropped.
 func OpenCache(dir string) (*Cache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("sweep: open cache: %w", err)
 	}
-	if stale, err := filepath.Glob(filepath.Join(dir, "*.tmp*")); err == nil {
-		for _, p := range stale {
-			if fi, err := os.Stat(p); err == nil && time.Since(fi.ModTime()) > staleTempAge {
-				os.Remove(p)
-			}
+	c := &Cache{dir: dir}
+	stale, err := filepath.Glob(filepath.Join(dir, "*.tmp*"))
+	if err != nil {
+		// Glob fails only on a malformed pattern, which a fixed suffix
+		// can't produce — but if it ever does, surface it as a failed
+		// cleanup rather than pretending the directory was scanned.
+		c.stats.TempFailed++
+		return c, nil
+	}
+	for _, p := range stale {
+		fi, err := os.Stat(p)
+		if err != nil {
+			continue // vanished under us: someone else's cleanup won
+		}
+		if time.Since(fi.ModTime()) <= staleTempAge {
+			continue // plausibly a live sweep's in-progress store
+		}
+		if err := os.Remove(p); err != nil {
+			c.stats.TempFailed++
+		} else {
+			c.stats.TempReclaimed++
 		}
 	}
-	return &Cache{dir: dir}, nil
+	return c, nil
 }
 
 // Dir returns the cache's root directory.
@@ -179,8 +204,11 @@ func (c *Cache) cellPath(key string) string {
 // defect — missing file, unparsable JSON, version or key mismatch — is a
 // miss: the sweep recomputes and overwrites, never fails.
 func (c *Cache) GetTests(key string) ([]kernel.TestCase, bool) {
-	var e testgenEntry
-	ok := readEntry(c.testsPath(key), &e) && e.Version == CacheVersion && e.Key == key
+	var tests []kernel.TestCase
+	ok := false
+	if data, err := os.ReadFile(c.testsPath(key)); err == nil {
+		tests, ok = DecodeTestsEntry(key, data)
+	}
 	c.mu.Lock()
 	if ok {
 		c.stats.TestgenHits++
@@ -188,55 +216,85 @@ func (c *Cache) GetTests(key string) ([]kernel.TestCase, bool) {
 		c.stats.TestgenMisses++
 	}
 	c.mu.Unlock()
-	if !ok {
-		return nil, false
-	}
-	return e.Tests, true
+	return tests, ok
 }
 
 // PutTests stores a pair's generated tests under key. The write goes
 // through a temp file and rename so a crashed or concurrent sweep can
 // never leave a half-written entry that parses.
 func (c *Cache) PutTests(key string, tests []kernel.TestCase) error {
-	return c.writeEntry(c.testsPath(key), key, testgenEntry{Version: CacheVersion, Key: key, Tests: tests})
+	data, err := EncodeTestsEntry(key, tests)
+	if err != nil {
+		return err
+	}
+	return c.writeEntry(c.testsPath(key), key, data)
 }
 
 // GetCell returns the CHECK tier entry for key, with the same
 // miss-on-any-defect contract as GetTests.
 func (c *Cache) GetCell(key string) (*KernelCell, bool) {
-	var e checkEntry
-	ok := readEntry(c.cellPath(key), &e) && e.Version == CacheVersion && e.Key == key
+	var cell *KernelCell
+	if data, err := os.ReadFile(c.cellPath(key)); err == nil {
+		cell, _ = DecodeCellEntry(key, data)
+	}
 	c.mu.Lock()
-	if ok {
+	if cell != nil {
 		c.stats.CheckHits++
 	} else {
 		c.stats.CheckMisses++
 	}
 	c.mu.Unlock()
-	if !ok {
+	return cell, cell != nil
+}
+
+// PutCell stores one kernel's cell under key, atomically like PutTests.
+func (c *Cache) PutCell(key string, cell KernelCell) error {
+	data, err := EncodeCellEntry(key, cell)
+	if err != nil {
+		return err
+	}
+	return c.writeEntry(c.cellPath(key), key, data)
+}
+
+// The entry codecs are the single source of the on-disk (and cache-route
+// wire) bytes: the disk backend writes exactly these encodings, the HTTP
+// backend and the server's /v1/cache routes ship them verbatim, and every
+// consumer validates with the same decode. An entry carries its version
+// and key, so a decode failure anywhere — stale version from an older
+// binary, a file copied under the wrong name, a truncated body — is a
+// miss, never a wrong answer.
+
+// EncodeTestsEntry renders a TESTGEN tier entry in its canonical form.
+func EncodeTestsEntry(key string, tests []kernel.TestCase) ([]byte, error) {
+	return json.MarshalIndent(testgenEntry{Version: CacheVersion, Key: key, Tests: tests}, "", "\t")
+}
+
+// DecodeTestsEntry parses and validates a TESTGEN tier entry; any defect
+// reports a miss (false).
+func DecodeTestsEntry(key string, data []byte) ([]kernel.TestCase, bool) {
+	var e testgenEntry
+	if json.Unmarshal(data, &e) != nil || e.Version != CacheVersion || e.Key != key {
+		return nil, false
+	}
+	return e.Tests, true
+}
+
+// EncodeCellEntry renders a CHECK tier entry in its canonical form.
+func EncodeCellEntry(key string, cell KernelCell) ([]byte, error) {
+	return json.MarshalIndent(checkEntry{Version: CacheVersion, Key: key, Cell: cell}, "", "\t")
+}
+
+// DecodeCellEntry parses and validates a CHECK tier entry; any defect
+// reports a miss (nil, false).
+func DecodeCellEntry(key string, data []byte) (*KernelCell, bool) {
+	var e checkEntry
+	if json.Unmarshal(data, &e) != nil || e.Version != CacheVersion || e.Key != key {
 		return nil, false
 	}
 	return &e.Cell, true
 }
 
-// PutCell stores one kernel's cell under key, atomically like PutTests.
-func (c *Cache) PutCell(key string, cell KernelCell) error {
-	return c.writeEntry(c.cellPath(key), key, checkEntry{Version: CacheVersion, Key: key, Cell: cell})
-}
-
-func readEntry(path string, v any) bool {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return false
-	}
-	return json.Unmarshal(data, v) == nil
-}
-
-func (c *Cache) writeEntry(path, key string, v any) error {
-	data, err := json.MarshalIndent(v, "", "\t")
-	if err != nil {
-		return err
-	}
+func (c *Cache) writeEntry(path, key string, data []byte) error {
 	tmp, err := os.CreateTemp(c.dir, key+".tmp*")
 	if err != nil {
 		return err
@@ -264,3 +322,21 @@ func (c *Cache) Stats() CacheStats {
 	defer c.mu.Unlock()
 	return c.stats
 }
+
+// Ready probes whether the cache directory is still writable — the
+// readiness signal `commuter serve`'s /healthz reports. The error message
+// keeps the "cache not writable" phrasing health-check consumers match on.
+func (c *Cache) Ready() error {
+	f, err := os.CreateTemp(c.dir, ".ready-*")
+	if err != nil {
+		return fmt.Errorf("sweep cache not writable: %w", err)
+	}
+	name := f.Name()
+	f.Close()
+	os.Remove(name)
+	return nil
+}
+
+// String identifies the backend in logs, metrics labels and the -cache
+// URL syntax.
+func (c *Cache) String() string { return "dir:" + c.dir }

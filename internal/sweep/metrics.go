@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"log/slog"
+	"sync"
 
 	"repro/internal/obs"
 	"repro/internal/sym"
@@ -35,9 +36,22 @@ var (
 	metricCheckMisses = obs.Default.Counter(
 		"commuter_cache_check_misses_total",
 		"CHECK-tier cache misses (kernel cells recomputed under mtrace).")
-	metricCacheWriteErrors = obs.Default.Counter(
+	metricCacheWriteErrors = obs.Default.CounterVec(
 		"commuter_cache_write_errors_total",
-		"Cache entries that could not be stored (best-effort writes).")
+		"Cache entries that could not be stored (best-effort writes), by backend kind.",
+		"backend")
+	metricBackendRequests = obs.Default.CounterVec(
+		"commuter_cache_backend_requests_total",
+		"Cache backend lookups by backend kind, tier and outcome.",
+		"backend", "tier", "outcome")
+	metricCoalescedShared = obs.Default.CounterVec(
+		"commuter_coalesced_requests_total",
+		"Sweep stages served by sharing a concurrent identical execution instead of recomputing.",
+		"tier")
+	metricCoalesceHandoffs = obs.Default.CounterVec(
+		"commuter_coalesce_handoffs_total",
+		"Canceled coalescing leaders that handed execution to a surviving waiter.",
+		"tier")
 	metricSatCalls = obs.Default.Counter(
 		"commuter_solver_sat_calls_total",
 		"Backtracking satisfiability searches started by sweep pairs.")
@@ -59,15 +73,47 @@ func init() {
 		func() float64 { _, m := sym.InternStats(); return float64(m) })
 }
 
+// putErrWarned dedups the write-degradation warning per backend handle,
+// so a full disk (or dead cache peer) logs one warning, not one line per
+// failed entry; the per-entry record is the write_errors counter.
+var putErrWarned sync.Map // Backend -> *sync.Once
+
+// reportPutError counts one failed best-effort store against its backend
+// and logs the degradation once per backend handle at warn level.
+func reportPutError(b Backend, err error) {
+	metricCacheWriteErrors.With(backendKind(b)).Inc()
+	once, _ := putErrWarned.LoadOrStore(b, new(sync.Once))
+	once.(*sync.Once).Do(func() {
+		slog.Warn("sweep: cache writes failing; sweeps continue but stay cold",
+			"backend", b.String(), "err", err)
+	})
+}
+
+// observeBackendGet records one backend lookup outcome on the labeled
+// per-backend counter (the unlabeled per-tier counters stay as the stable
+// dashboard names; this adds the per-backend breakdown).
+func observeBackendGet(b Backend, tier string, hit bool) {
+	outcome := "miss"
+	if hit {
+		outcome = "hit"
+	}
+	metricBackendRequests.With(backendKind(b), tier, outcome).Inc()
+}
+
 // observePair folds one finished pair into the process-wide metrics and
 // emits the engine's debug log line.
 func observePair(pr *PairResult) {
 	outcome := "computed"
-	if pr.Cached {
+	switch {
+	case pr.Cached:
 		outcome = "cached"
+	case pr.Coalesced:
+		outcome = "coalesced"
 	}
 	metricPairsTotal.With(outcome).Inc()
-	if !pr.Cached {
+	// Phase times describe work actually done; cached and coalesced pairs
+	// did none, and folding their zeros in would skew the histograms.
+	if outcome == "computed" {
 		metricPhaseSeconds.With("analyze").Observe(pr.Phases.AnalyzeMS / 1e3)
 		metricPhaseSeconds.With("testgen").Observe(pr.Phases.TestgenMS / 1e3)
 		metricPhaseSeconds.With("check").Observe(pr.Phases.CheckMS / 1e3)
@@ -83,6 +129,7 @@ func observePair(pr *PairResult) {
 		"pair", pr.Pair(),
 		"tests", pr.Tests,
 		"cached", pr.Cached,
+		"coalesced", pr.Coalesced,
 		"unknown", pr.Unknown,
 		"elapsed_ms", pr.ElapsedMS,
 		"analyze_ms", pr.Phases.AnalyzeMS,

@@ -5,8 +5,10 @@
 // with their own mtrace.Memory) and parallelism is across the 171 unordered
 // pairs of the modeled operations.
 //
-// The engine optionally consults a content-addressed on-disk Cache so
-// repeat sweeps are incremental, streams per-pair progress Events, and can
+// The engine optionally consults a content-addressed cache Backend (on
+// disk, in memory, a peer server over HTTP, or a tiered stack of those) so
+// repeat sweeps are incremental, coalesces identical concurrent cold
+// stages into one execution, streams per-pair progress Events, and can
 // mirror every PairResult to a JSONL artifact stream.
 package sweep
 
@@ -17,11 +19,13 @@ import (
 	"io"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/analyzer"
+	"repro/internal/flight"
 	"repro/internal/kernel"
 	"repro/internal/obs"
 	"repro/internal/spec"
@@ -51,6 +55,9 @@ type Event struct {
 	// Cached reports that the pair was served entirely from the cache
 	// (TESTGEN tier plus every kernel's CHECK tier entry).
 	Cached bool
+	// Coalesced reports that at least one of the pair's stages was shared
+	// from a concurrent identical execution instead of run here.
+	Coalesced bool
 	// PairMS is the wall time this pair took, in milliseconds.
 	PairMS float64
 	// Elapsed is the cumulative wall time since the sweep started.
@@ -82,8 +89,11 @@ type Config struct {
 	Testgen testgen.Options
 	// Workers sizes the pool; <= 0 means runtime.NumCPU().
 	Workers int
-	// Cache, when non-nil, serves and stores per-pair results.
-	Cache *Cache
+	// Cache, when non-nil, serves and stores per-pair results. Any
+	// Backend works: the on-disk *Cache (OpenCache), an in-memory LRU
+	// (NewMemBackend), a peer server (NewHTTPBackend), a Tiered stack,
+	// or whatever OpenBackend resolves from a -cache URL.
+	Cache Backend
 	// Progress, when non-nil, receives one Event per finished pair.
 	Progress func(Event)
 	// Artifact, when non-nil, receives one JSON line per finished pair.
@@ -114,6 +124,11 @@ type PairResult struct {
 	// Cached reports that nothing was recomputed for the pair: the tests
 	// came from the TESTGEN tier and every cell from the CHECK tier.
 	Cached bool `json:"cached,omitempty"`
+	// Coalesced reports that at least one stage's result was shared from
+	// a concurrent identical execution (single-flight): this sweep did
+	// not run that stage, another in-process sweep did. Phase and solver
+	// counters cover only work this sweep performed itself.
+	Coalesced bool `json:"coalesced,omitempty"`
 	// ElapsedMS is the wall time this pair took in this sweep.
 	ElapsedMS float64 `json:"elapsed_ms"`
 	// StartMS is when this pair started, in milliseconds from the start
@@ -277,14 +292,15 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			// streaming façade hands it to another goroutine), and the
 			// final sort reorders the results slice in place.
 			cfg.Progress(Event{
-				Pair:    pr.Pair(),
-				Done:    done,
-				Total:   len(jobs),
-				Tests:   pr.Tests,
-				Cached:  pr.Cached,
-				PairMS:  pr.ElapsedMS,
-				Elapsed: time.Since(start),
-				Result:  &pr,
+				Pair:      pr.Pair(),
+				Done:      done,
+				Total:     len(jobs),
+				Tests:     pr.Tests,
+				Cached:    pr.Cached,
+				Coalesced: pr.Coalesced,
+				PairMS:    pr.ElapsedMS,
+				Elapsed:   time.Since(start),
+				Result:    &pr,
 			})
 		}
 	})
@@ -346,12 +362,52 @@ func count(hit bool, hits, misses *atomic.Int64, mHits, mMisses *obs.Counter) {
 	}
 }
 
+// Process-wide single-flight groups: concurrent sweeps (a serve
+// instance's whole client population) coalesce identical cold stages
+// through them, keyed by backend identity plus content address, so 1,000
+// clients requesting the same cold pair trigger one ANALYZE+TESTGEN and
+// one CHECK per kernel, not 1,000.
+var (
+	testgenFlights flight.Group[testgenOutcome]
+	checkFlights   flight.Group[checkOutcome]
+)
+
+// flightID scopes coalescing to one backend's key space: sweeps sharing a
+// backend (or both running cacheless) coalesce, sweeps over different
+// backends never observe each other's results.
+func flightID(b Backend, key string) string {
+	if b == nil {
+		return "nocache|" + key
+	}
+	return b.String() + "|" + key
+}
+
+// testgenOutcome is the ANALYZE+TESTGEN stage's shareable result.
+type testgenOutcome struct {
+	tests     []kernel.TestCase
+	unknown   int
+	fromCache bool
+}
+
+// checkOutcome is one kernel's CHECK stage shareable result.
+type checkOutcome struct {
+	cell      KernelCell
+	fromCache bool
+}
+
 // runPair assembles one pair's result from whichever cache tiers hit,
-// computing only the phases that miss: a TESTGEN miss runs the symbolic
+// computing only the stages that miss: a TESTGEN miss runs the symbolic
 // analysis and test generation, and each kernel's CHECK miss runs that
 // kernel against the (cached or fresh) tests. Cache writes are
 // best-effort, mirroring the read side's degradation contract: a failed
 // store costs incrementality, never the sweep.
+//
+// When no caller-provided solver is in play, each stage runs under
+// single-flight: the cache probe, the computation and the store happen
+// inside the flight, so of N concurrent identical cold requests exactly
+// one executes (and populates the cache) while the rest share its result,
+// marked Coalesced. A sequential sweep is always its own leader, so its
+// statistics and output are identical to the pre-coalescing engine.
 //
 // Along the way it records the pair's observability record: per-phase
 // wall times, solver counters (snapshot deltas, so a caller-shared
@@ -362,106 +418,57 @@ func runPair(ctx context.Context, sp spec.Spec, a, b *spec.Op, cfg Config, sweep
 	out := PairResult{OpA: a.Name, OpB: b.Name, StartMS: msBetween(sweepStart, start)}
 	internHits0, _ := sym.InternStats()
 
-	var (
-		tgKey     string
-		tests     []kernel.TestCase
-		unknown   int
-		haveTests bool
-	)
-	if cfg.Cache != nil {
+	// Caller-provided solvers carry budget state that must not leak
+	// between requests, so they opt the sweep out of cross-request
+	// sharing (such sweeps already run sequentially; see RunContext).
+	coalesce := cfg.Analyzer.Solver == nil && cfg.Testgen.Solver == nil
+	var tgKey string
+	if cfg.Cache != nil || coalesce {
 		tgKey = TestgenKey(sp.Name(), a.Name, b.Name, cfg.Analyzer, cfg.Testgen)
-		// A hit is complete by construction (truncated results are never
-		// stored below), so unknown stays 0.
-		tests, haveTests = cfg.Cache.GetTests(tgKey)
-		count(haveTests, &counters.tgHits, &counters.tgMisses, metricTestgenHits, metricTestgenMisses)
 	}
-	if !haveTests {
-		aOpt := cfg.Analyzer
-		if aOpt.Solver == nil {
-			// The analyzer would build this per-pair solver itself; build
-			// it here instead so its search counters can be read after
-			// the phase. The cache key deliberately excludes solvers, and
-			// a fresh solver per pair preserves the engine's parallelism
-			// (only a shared caller-provided solver forces workers=1
-			// above).
-			aOpt.Solver = &sym.Solver{Stop: func() bool { return ctx.Err() != nil }}
-		}
-		aStats0 := aOpt.Solver.Stats()
-		phaseStart := time.Now()
-		pr, err := analyzer.AnalyzePairCtx(ctx, sp, a, b, aOpt)
-		out.Phases.AnalyzeMS = msSince(phaseStart)
-		if err != nil {
-			return out, fmt.Errorf("sweep %s: %w", out.Pair(), err)
-		}
-		gOpt := cfg.Testgen
-		if gOpt.Solver == nil {
-			// TESTGEN runs its own searches; give it a per-pair solver
-			// wired to the context so cancellation lands there too.
-			gOpt.Solver = &sym.Solver{Stop: func() bool { return ctx.Err() != nil }}
-		}
-		gStats0 := gOpt.Solver.Stats()
-		phaseStart = time.Now()
-		var truncated int
-		tests, truncated = testgen.GenerateChecked(sp, pr, gOpt)
-		out.Phases.TestgenMS = msSince(phaseStart)
-		if err := ctx.Err(); err != nil {
-			// A cancelled generation pass is truncated, not short: drop it
-			// before its lower-bound test set can reach the cache or a cell.
-			return out, fmt.Errorf("sweep %s: %w", out.Pair(), err)
-		}
-		recordSolverDelta(&out, aOpt.Solver.Stats(), aStats0)
-		recordSolverDelta(&out, gOpt.Solver.Stats(), gStats0)
-		unknown = pr.Unknown() + truncated
-		if cfg.Cache != nil && unknown == 0 {
-			// Budget-truncated results are never stored: the cache key
-			// deliberately excludes the solver (so tuning it doesn't
-			// orphan entries), which is only sound if every stored
-			// result is budget-independent — i.e. complete. A truncated
-			// pair recomputes on every sweep until some run affords it.
-			if err := cfg.Cache.PutTests(tgKey, tests); err != nil {
-				counters.writeErrs.Add(1)
-				metricCacheWriteErrors.Inc()
-			}
-		}
-	}
-	out.Tests = len(tests)
-	out.Unknown = unknown
 
-	cached := haveTests
+	var (
+		tg  testgenOutcome
+		err error
+	)
+	if coalesce {
+		var st flight.Stat
+		tg, st, err = testgenFlights.Do(ctx, flightID(cfg.Cache, tgKey), func() (testgenOutcome, error) {
+			return generateTests(ctx, sp, a, b, cfg, tgKey, &out, counters)
+		})
+		noteFlight(&out, st, TierTestgen)
+	} else {
+		tg, err = generateTests(ctx, sp, a, b, cfg, tgKey, &out, counters)
+	}
+	if err != nil {
+		return out, wrapPairErr(&out, err)
+	}
+	out.Tests = len(tg.tests)
+	out.Unknown = tg.unknown
+
+	cached := tg.fromCache
 	for _, ks := range cfg.Kernels {
-		var (
-			cell  KernelCell
-			ckKey string
-			hit   bool
-		)
-		if cfg.Cache != nil {
+		var ckKey string
+		if cfg.Cache != nil || coalesce {
 			ckKey = CheckKey(tgKey, ks.Name)
-			if cl, ok := cfg.Cache.GetCell(ckKey); ok {
-				cell, hit = *cl, true
-			}
-			count(hit, &counters.ckHits, &counters.ckMisses, metricCheckHits, metricCheckMisses)
 		}
-		if !hit {
+		var ck checkOutcome
+		if coalesce {
+			var st flight.Stat
+			ck, st, err = checkFlights.Do(ctx, flightID(cfg.Cache, ckKey), func() (checkOutcome, error) {
+				return runCheck(ctx, ks, tg.tests, tg.unknown, cfg, ckKey, &out, counters)
+			})
+			noteFlight(&out, st, TierCheck)
+		} else {
+			ck, err = runCheck(ctx, ks, tg.tests, tg.unknown, cfg, ckKey, &out, counters)
+		}
+		if err != nil {
+			return out, wrapPairErr(&out, err)
+		}
+		if !ck.fromCache {
 			cached = false
-			phaseStart := time.Now()
-			total, conflicts, err := CheckTestsCtx(ctx, ks.New, tests)
-			out.Phases.CheckMS += msSince(phaseStart)
-			if err != nil {
-				return out, fmt.Errorf("sweep %s on %s: %w", out.Pair(), ks.Name, err)
-			}
-			cell = KernelCell{Kernel: ks.Name, Total: total, Conflicts: conflicts}
-			// A cell computed from a truncated test set must not be
-			// stored either: CheckKey chains the (budget-independent)
-			// testgen key, so a stale lower-bound cell would shadow the
-			// complete one a full-budget rerun generates.
-			if cfg.Cache != nil && unknown == 0 {
-				if err := cfg.Cache.PutCell(ckKey, cell); err != nil {
-					counters.writeErrs.Add(1)
-					metricCacheWriteErrors.Inc()
-				}
-			}
 		}
-		out.Cells = append(out.Cells, cell)
+		out.Cells = append(out.Cells, ck.cell)
 	}
 	out.Cached = cached
 	out.ElapsedMS = msSince(start)
@@ -469,6 +476,129 @@ func runPair(ctx context.Context, sp spec.Spec, a, b *spec.Op, cfg Config, sweep
 	out.Solver.InternHits = int64(internHits1 - internHits0)
 	observePair(&out)
 	return out, nil
+}
+
+// noteFlight folds one flight outcome into the pair record and the
+// coalescing metrics.
+func noteFlight(out *PairResult, st flight.Stat, tier string) {
+	if st.Shared {
+		out.Coalesced = true
+		metricCoalescedShared.With(tier).Inc()
+	}
+	if st.HandedOff {
+		metricCoalesceHandoffs.With(tier).Inc()
+	}
+}
+
+// wrapPairErr tags an error with the pair, unless a stage already did.
+func wrapPairErr(out *PairResult, err error) error {
+	if strings.HasPrefix(err.Error(), "sweep ") {
+		return err
+	}
+	return fmt.Errorf("sweep %s: %w", out.Pair(), err)
+}
+
+// generateTests is the ANALYZE+TESTGEN stage: cache probe, computation on
+// a miss, best-effort store. It runs either directly (sequential and
+// caller-solver sweeps) or as a flight's leader; out and counters always
+// belong to the caller that executes, so phase times, solver work and
+// cache accounting land on the sweep that actually did the work.
+func generateTests(ctx context.Context, sp spec.Spec, a, b *spec.Op, cfg Config, tgKey string, out *PairResult, counters *runCounters) (testgenOutcome, error) {
+	if cfg.Cache != nil {
+		// A hit is complete by construction (truncated results are never
+		// stored below), so unknown stays 0.
+		tests, ok := cfg.Cache.GetTests(tgKey)
+		count(ok, &counters.tgHits, &counters.tgMisses, metricTestgenHits, metricTestgenMisses)
+		observeBackendGet(cfg.Cache, TierTestgen, ok)
+		if ok {
+			return testgenOutcome{tests: tests, fromCache: true}, nil
+		}
+	}
+	aOpt := cfg.Analyzer
+	if aOpt.Solver == nil {
+		// The analyzer would build this per-pair solver itself; build
+		// it here instead so its search counters can be read after
+		// the phase. The cache key deliberately excludes solvers, and
+		// a fresh solver per pair preserves the engine's parallelism
+		// (only a shared caller-provided solver forces workers=1
+		// above).
+		aOpt.Solver = &sym.Solver{Stop: func() bool { return ctx.Err() != nil }}
+	}
+	aStats0 := aOpt.Solver.Stats()
+	phaseStart := time.Now()
+	pr, err := analyzer.AnalyzePairCtx(ctx, sp, a, b, aOpt)
+	out.Phases.AnalyzeMS = msSince(phaseStart)
+	if err != nil {
+		return testgenOutcome{}, fmt.Errorf("sweep %s: %w", out.Pair(), err)
+	}
+	gOpt := cfg.Testgen
+	if gOpt.Solver == nil {
+		// TESTGEN runs its own searches; give it a per-pair solver
+		// wired to the context so cancellation lands there too.
+		gOpt.Solver = &sym.Solver{Stop: func() bool { return ctx.Err() != nil }}
+	}
+	gStats0 := gOpt.Solver.Stats()
+	phaseStart = time.Now()
+	tests, truncated := testgen.GenerateChecked(sp, pr, gOpt)
+	out.Phases.TestgenMS = msSince(phaseStart)
+	if err := ctx.Err(); err != nil {
+		// A cancelled generation pass is truncated, not short: drop it
+		// before its lower-bound test set can reach the cache or a cell.
+		return testgenOutcome{}, fmt.Errorf("sweep %s: %w", out.Pair(), err)
+	}
+	recordSolverDelta(out, aOpt.Solver.Stats(), aStats0)
+	recordSolverDelta(out, gOpt.Solver.Stats(), gStats0)
+	unknown := pr.Unknown() + truncated
+	if cfg.Cache != nil && unknown == 0 {
+		// Budget-truncated results are never stored: the cache key
+		// deliberately excludes the solver (so tuning it doesn't
+		// orphan entries), which is only sound if every stored
+		// result is budget-independent — i.e. complete. A truncated
+		// pair recomputes on every sweep until some run affords it.
+		if err := cfg.Cache.PutTests(tgKey, tests); err != nil {
+			counters.writeErrs.Add(1)
+			reportPutError(cfg.Cache, err)
+		}
+	}
+	return testgenOutcome{tests: tests, unknown: unknown}, nil
+}
+
+// runCheck is one kernel's CHECK stage: cache probe, mtrace replay on a
+// miss, best-effort store. Like generateTests it runs directly or as a
+// flight's leader, with out/counters belonging to the executing caller.
+func runCheck(ctx context.Context, ks KernelSpec, tests []kernel.TestCase, unknown int, cfg Config, ckKey string, out *PairResult, counters *runCounters) (checkOutcome, error) {
+	if cfg.Cache != nil {
+		var (
+			cell KernelCell
+			hit  bool
+		)
+		if cl, ok := cfg.Cache.GetCell(ckKey); ok {
+			cell, hit = *cl, true
+		}
+		count(hit, &counters.ckHits, &counters.ckMisses, metricCheckHits, metricCheckMisses)
+		observeBackendGet(cfg.Cache, TierCheck, hit)
+		if hit {
+			return checkOutcome{cell: cell, fromCache: true}, nil
+		}
+	}
+	phaseStart := time.Now()
+	total, conflicts, err := CheckTestsCtx(ctx, ks.New, tests)
+	out.Phases.CheckMS += msSince(phaseStart)
+	if err != nil {
+		return checkOutcome{}, fmt.Errorf("sweep %s on %s: %w", out.Pair(), ks.Name, err)
+	}
+	cell := KernelCell{Kernel: ks.Name, Total: total, Conflicts: conflicts}
+	// A cell computed from a truncated test set must not be stored
+	// either: CheckKey chains the (budget-independent) testgen key, so a
+	// stale lower-bound cell would shadow the complete one a full-budget
+	// rerun generates.
+	if cfg.Cache != nil && unknown == 0 {
+		if err := cfg.Cache.PutCell(ckKey, cell); err != nil {
+			counters.writeErrs.Add(1)
+			reportPutError(cfg.Cache, err)
+		}
+	}
+	return checkOutcome{cell: cell}, nil
 }
 
 // recordSolverDelta folds one solver's work since the snapshot into the

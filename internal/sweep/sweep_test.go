@@ -79,6 +79,7 @@ func stripTiming(pairs []PairResult) []PairResult {
 	for i, p := range pairs {
 		p.ElapsedMS = 0
 		p.Cached = false
+		p.Coalesced = false
 		p.StartMS = 0
 		p.Phases = PhaseTimes{}
 		p.Solver = SolverCounters{}
