@@ -160,18 +160,27 @@ func runPerf(jsonPath, server, baseline string) error {
 	// satisfiability-search share inside analyze+testgen).
 	var phases commuter.PhaseTimes
 	var satCalls int64
+	var checkGroups, maxShards int
 	for _, p := range res.Pairs {
 		phases.AnalyzeMS += p.Phases.AnalyzeMS
 		phases.TestgenMS += p.Phases.TestgenMS
 		phases.CheckMS += p.Phases.CheckMS
 		phases.SolverMS += p.Phases.SolverMS
 		satCalls += p.Solver.SatCalls
+		checkGroups += p.CheckGroups
+		if p.CheckShards > maxShards {
+			maxShards = p.CheckShards
+		}
 	}
 	add("fig6_fs_sweep_analyze_ms", phases.AnalyzeMS, "ms")
 	add("fig6_fs_sweep_testgen_ms", phases.TestgenMS, "ms")
 	add("fig6_fs_sweep_check_ms", phases.CheckMS, "ms")
 	add("fig6_fs_sweep_solver_ms", phases.SolverMS, "ms")
 	add("fig6_fs_sweep_sat_calls", float64(satCalls), "calls")
+	// Replay shape (non-ms, so the regression gate skips them): total setup
+	// groups across the CHECK stages and the widest intra-pair shard fan-out.
+	add("fig6_fs_sweep_check_groups", float64(checkGroups), "groups")
+	add("fig6_fs_sweep_check_shards", float64(maxShards), "shards")
 
 	// Sym-engine micro-benchmarks: the hot ANALYZE and ANALYZE+TESTGEN
 	// paths on representative pairs, best of three.

@@ -161,23 +161,58 @@ func (localClient) Check(ctx context.Context, kernelName string, tests []TestCas
 		return CheckSummary{}, badRequest(err)
 	}
 	out := CheckSummary{Kernel: impls[0].Name}
-	for _, tc := range tests {
+	// Replay tests grouped by shared initial state on one long-lived kernel
+	// (apply each setup once, journal-rollback between tests) instead of
+	// constructing two fresh kernels per test. Grouping reorders execution,
+	// so verdicts are stored by original index to keep the response aligned
+	// with the request.
+	type group struct {
+		setup   kernel.Setup
+		tests   []TestCase
+		indices []int
+	}
+	var groups []group
+	byID := map[string]int{}
+	for i, tc := range tests {
+		id := tc.SetupID
+		if id == "" {
+			id = tc.Setup.Fingerprint()
+		}
+		gi, ok := byID[id]
+		if !ok {
+			gi = len(groups)
+			byID[id] = gi
+			groups = append(groups, group{setup: tc.Setup})
+		}
+		groups[gi].tests = append(groups[gi].tests, tc)
+		groups[gi].indices = append(groups[gi].indices, i)
+	}
+	out.Verdicts = make([]TestVerdict, len(tests))
+	rep := kernel.NewReplayer(impls[0].New)
+	for _, g := range groups {
 		if err := ctx.Err(); err != nil {
 			return CheckSummary{}, err
 		}
-		res, err := kernel.Check(impls[0].New, tc)
+		i := 0
+		err := rep.CheckGroup(g.setup, g.tests, func(res kernel.CheckResult) bool {
+			v := TestVerdict{TestID: g.tests[i].ID, ConflictFree: res.ConflictFree, Commuted: res.Commuted}
+			for _, c := range res.Conflicts {
+				v.Conflicts = append(v.Conflicts, c.CellName)
+			}
+			out.Total++
+			if !res.ConflictFree {
+				out.Conflicts++
+			}
+			out.Verdicts[g.indices[i]] = v
+			i++
+			return ctx.Err() == nil
+		})
 		if err != nil {
 			return CheckSummary{}, err
 		}
-		v := TestVerdict{TestID: tc.ID, ConflictFree: res.ConflictFree, Commuted: res.Commuted}
-		for _, c := range res.Conflicts {
-			v.Conflicts = append(v.Conflicts, c.CellName)
-		}
-		out.Total++
-		if !res.ConflictFree {
-			out.Conflicts++
-		}
-		out.Verdicts = append(out.Verdicts, v)
+	}
+	if err := ctx.Err(); err != nil {
+		return CheckSummary{}, err
 	}
 	return out, nil
 }

@@ -166,6 +166,12 @@ func (c *remoteClient) GenerateTests(ctx context.Context, opA, opB string, opts 
 	if err := c.do(ctx, api.PathTestgen, &req, &out); err != nil {
 		return TestSet{}, err
 	}
+	// The setup content address is a local memo excluded from the wire
+	// format; recompute it so remote-obtained test sets are pre-grouped
+	// for Check exactly like locally generated ones.
+	for i := range out.Tests {
+		out.Tests[i].SetupID = out.Tests[i].Setup.Fingerprint()
+	}
 	return out, nil
 }
 

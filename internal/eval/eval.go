@@ -27,6 +27,10 @@ import (
 // operation thunks executed on the given traced memory, one coherence.Op
 // per thunk.
 func CaptureOps(mem *mtrace.Memory, thunks []func()) coherence.CoreTrace {
+	// The per-access log is opt-in (the CHECK path detects conflicts online
+	// and never materializes it); the coherence simulator is the consumer
+	// that genuinely needs the ordered access sequence.
+	mem.LogAccesses(true)
 	var trace coherence.CoreTrace
 	for _, th := range thunks {
 		mem.Start()

@@ -151,6 +151,49 @@ type Setup struct {
 	Queues []SetupQueue `json:",omitempty"`
 }
 
+// Fingerprint returns a canonical content-address of the setup: two setups
+// with the same fingerprint describe the same initial state, so the
+// checker can apply the setup once and replay every test sharing it
+// against snapshot/reset. The encoding is an exact rendering (not a hash),
+// so equal fingerprints imply equal setups with no collision risk.
+func (s Setup) Fingerprint() string {
+	var b strings.Builder
+	for _, f := range s.Files {
+		fmt.Fprintf(&b, "F%s=%d;", f.Name, f.Inum)
+	}
+	for _, in := range s.Inodes {
+		fmt.Fprintf(&b, "I%d,x%d,l%d", in.Inum, in.ExtraLinks, in.Len)
+		if len(in.Pages) > 0 {
+			idxs := make([]int64, 0, len(in.Pages))
+			for idx := range in.Pages {
+				idxs = append(idxs, idx)
+			}
+			sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+			for _, idx := range idxs {
+				fmt.Fprintf(&b, ",p%d=%d", idx, in.Pages[idx])
+			}
+		}
+		b.WriteByte(';')
+	}
+	for _, fd := range s.FDs {
+		if fd.Pipe {
+			fmt.Fprintf(&b, "D%d,%d,pipe%d,w%t;", fd.Proc, fd.FD, fd.PipeID, fd.WriteEnd)
+		} else {
+			fmt.Fprintf(&b, "D%d,%d,i%d,o%d;", fd.Proc, fd.FD, fd.Inum, fd.Off)
+		}
+	}
+	for _, p := range s.Pipes {
+		fmt.Fprintf(&b, "P%d=%v;", p.ID, p.Items)
+	}
+	for _, v := range s.VMAs {
+		fmt.Fprintf(&b, "V%d,%d,a%t,v%d,w%t,i%d,o%d;", v.Proc, v.Page, v.Anon, v.Val, v.Writable, v.Inum, v.Foff)
+	}
+	for _, q := range s.Queues {
+		fmt.Fprintf(&b, "Q%d=%v;", q.Core, q.Items)
+	}
+	return b.String()
+}
+
 // TestCase is one generated commutative test: after Setup, the two Calls
 // run on different cores and, per the commutativity rule, admit a
 // conflict-free execution.
@@ -161,6 +204,11 @@ type TestCase struct {
 	Setup Setup
 	// Calls are the two commutative operations.
 	Calls [2]Call
+	// SetupID is Setup.Fingerprint(), stamped by testgen so the checker
+	// can group tests sharing an initial state without recomputing it.
+	// Excluded from the wire/cache encodings: decoders regroup via
+	// Fingerprint when it is empty.
+	SetupID string `json:"-"`
 }
 
 // Kernel is the interface both implementations provide. Exec runs a call on
@@ -175,6 +223,15 @@ type Kernel interface {
 	Apply(s Setup) error
 	// Exec performs one system call on the given simulated core.
 	Exec(core int, c Call) Result
+	// Snapshot opens a snapshot region on the kernel's memory; subsequent
+	// Apply/Exec mutations are journaled so Reset can undo them.
+	// Implementations whose state is not held entirely in traced cells
+	// register mtrace.Memory.OnReset hooks at their structural mutation
+	// sites (map inserts, plain struct fields).
+	Snapshot()
+	// Reset restores the kernel to the state at the innermost Snapshot,
+	// leaving that snapshot in place for the next replay.
+	Reset()
 }
 
 // CheckResult reports one test case's conflict-freedom on a kernel.

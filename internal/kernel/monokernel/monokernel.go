@@ -119,6 +119,19 @@ func (k *Kern) Name() string { return "linux" }
 // Memory implements kernel.Kernel.
 func (k *Kern) Memory() *mtrace.Memory { return k.mem }
 
+// Snapshot implements kernel.Kernel. Cell values are journaled by the
+// memory itself; the mutation sites below register OnReset hooks for the
+// structural state the journal cannot see (map entries, the plain fields
+// of vma and fdslot, the pipe id counter), so Reset restores a state
+// observationally identical to a fresh kernel with the same setup —
+// including which map entries exist, because a stale entry would change
+// the traced access pattern of lookups that are gated on entry presence
+// (fget, the mmap address scan).
+func (k *Kern) Snapshot() { k.mem.Snapshot() }
+
+// Reset implements kernel.Kernel.
+func (k *Kern) Reset() { k.mem.Reset() }
+
 func (k *Kern) dentry(name int64) *dentry {
 	d, ok := k.dentries[name]
 	if !ok {
@@ -161,6 +174,14 @@ func (k *Kern) newPipe(id int64) *pipe {
 		tail:  k.mem.NewCellf(0, "pipe[%d].tail", id),
 		items: map[int64]*mtrace.Cell{},
 	}
+	prev, had := k.pipes[id]
+	k.mem.OnReset(func() {
+		if had {
+			k.pipes[id] = prev
+		} else {
+			delete(k.pipes, id)
+		}
+	})
 	k.pipes[id] = p
 	return p
 }
@@ -211,9 +232,13 @@ func (k *Kern) allocFD(core int, pr int, f *file) int64 {
 		s, ok := p.slots[fd]
 		if !ok {
 			s = &fdslot{cell: k.mem.NewCellf(0, "proc%d.fd[%d]", pr, fd)}
+			fd := fd
+			k.mem.OnReset(func() { delete(p.slots, fd) })
 			p.slots[fd] = s
 		}
 		if s.cell.Load(core) == 0 {
+			old := s.f
+			k.mem.OnReset(func() { s.f = old })
 			s.f = f
 			s.cell.Store(core, 1)
 			return fd
@@ -269,8 +294,12 @@ func (k *Kern) Apply(s kernel.Setup) error {
 			f.inum = sd.Inum
 			k.inode(sd.Inum) // ensure the inode exists
 		}
-		s := &fdslot{cell: k.mem.NewCellf(1, "proc%d.fd[%d]", sd.Proc, sd.FD), f: f}
-		p.slots[sd.FD] = s
+		slot := &fdslot{cell: k.mem.NewCellf(1, "proc%d.fd[%d]", sd.Proc, sd.FD), f: f}
+		// The live slot cell is born at 1 and never journaled, so a reset
+		// cannot revive its old value; drop the entry instead.
+		fd := sd.FD
+		k.mem.OnReset(func() { delete(p.slots, fd) })
+		p.slots[fd] = slot
 	}
 	for _, sv := range s.VMAs {
 		p := k.procs[sv.Proc]
@@ -278,10 +307,13 @@ func (k *Kern) Apply(s kernel.Setup) error {
 			cell: k.mem.NewCellf(1, "proc%d.vma[%d]", sv.Proc, sv.Page),
 			anon: sv.Anon, inum: sv.Inum, foff: sv.Foff, wr: sv.Writable,
 		}
-		p.vmas[sv.Page] = v
+		page := sv.Page
+		k.mem.OnReset(func() { delete(p.vmas, page) })
+		p.vmas[page] = v
 		if sv.Anon {
 			c := k.mem.NewCellf(sv.Val, "proc%d.anonpage[%d]", sv.Proc, sv.Page)
-			p.anon[sv.Page] = c
+			k.mem.OnReset(func() { delete(p.anon, page) })
+			p.anon[page] = c
 		} else {
 			k.inode(sv.Inum)
 		}

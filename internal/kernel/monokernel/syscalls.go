@@ -232,6 +232,8 @@ func (k *Kern) close(core int, c kernel.Call) kernel.Result {
 }
 
 func (k *Kern) pipe(core int, c kernel.Call) kernel.Result {
+	old := k.nextPipe
+	k.mem.OnReset(func() { k.nextPipe = old })
 	k.nextPipe++
 	p := k.newPipe(k.nextPipe)
 	rf := &file{refcnt: k.mem.NewCellf(1, "file[piper].refcnt"), off: k.mem.NewCellf(0, "file[piper].off"), pipe: p}
@@ -383,6 +385,15 @@ func (k *Kern) mmap(core int, c kernel.Call) kernel.Result {
 		old.cell.Store(core, 0)
 	}
 	nv.cell = k.mem.NewCellf(1, "proc%d.vma[%d]", c.Proc, addr)
+	// The new descriptor cell is born live (1) and never journaled; put
+	// the previous map state back on reset.
+	k.mem.OnReset(func() {
+		if ok {
+			p.vmas[addr] = old
+		} else {
+			delete(p.vmas, addr)
+		}
+	})
 	p.vmas[addr] = nv
 	p.vmaTree.Add(core, 1)
 	if nv.anon {
@@ -415,6 +426,8 @@ func (k *Kern) mprotect(core int, c kernel.Call) kernel.Result {
 	if !ok || v.cell.Load(core) == 0 {
 		return errR(kernel.ENOMEM)
 	}
+	oldWr := v.wr
+	k.mem.OnReset(func() { v.wr = oldWr })
 	v.wr = c.ArgBool("wr")
 	v.cell.Add(core, 1)
 	return kernel.Result{}

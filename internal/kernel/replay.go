@@ -1,0 +1,82 @@
+package kernel
+
+import "fmt"
+
+// Replayer checks batches of tests that share a Setup against one
+// long-lived kernel instance, instead of building two fresh kernels per
+// test the way Check does. Construction cost (the sv6 kernel allocates
+// tens of thousands of cells) is paid once; each test then runs against
+// mtrace snapshot/reset, which only undoes the handful of cells the test
+// actually wrote. Both execution orders replay on the same instance, so
+// the commutativity comparison is also setup-shared.
+//
+// A Replayer is not safe for concurrent use; the sweep creates one per
+// shard.
+type Replayer struct {
+	k Kernel
+}
+
+// NewReplayer builds the kernel once and opens its baseline snapshot.
+func NewReplayer(fresh func() Kernel) *Replayer {
+	k := fresh()
+	k.Snapshot()
+	return &Replayer{k: k}
+}
+
+// Kernel exposes the underlying instance (for diagnostics).
+func (r *Replayer) Kernel() Kernel { return r.k }
+
+// CheckGroup applies setup once, then replays each test against it, both
+// orders, resetting between replays. Every test in tests must share the
+// setup (same Setup.Fingerprint); the per-test Setup field is not
+// consulted. fn receives each result in order and returns false to stop
+// early. After the group the kernel is reset to its baseline (pristine)
+// state, so groups with different setups run back to back on the same
+// instance.
+func (r *Replayer) CheckGroup(setup Setup, tests []TestCase, fn func(CheckResult) bool) error {
+	k := r.k
+	mem := k.Memory()
+	if err := k.Apply(setup); err != nil {
+		// Undo the partial setup so the instance stays reusable.
+		mem.Reset()
+		id := ""
+		if len(tests) > 0 {
+			id = tests[0].ID
+		}
+		return fmt.Errorf("%s: setup %s: %w", k.Name(), id, err)
+	}
+	mem.Snapshot()
+	for _, tc := range tests {
+		mem.Start()
+		r0 := k.Exec(0, tc.Calls[0])
+		r1 := k.Exec(1, tc.Calls[1])
+		mem.Stop()
+		free := mem.ConflictFree()
+		conflicts := mem.Conflicts()
+		mem.Reset()
+
+		// Opposite order for the commutativity check: untraced (no
+		// Start), but still journaled, so the next test replays from the
+		// same post-setup state.
+		s1 := k.Exec(1, tc.Calls[1])
+		s0 := k.Exec(0, tc.Calls[0])
+		mem.Reset()
+
+		ok := fn(CheckResult{
+			Test:         tc,
+			ConflictFree: free,
+			Conflicts:    conflicts,
+			Res:          [2]Result{r0, r1},
+			Commuted:     resultsCommute(r0, s0) && resultsCommute(r1, s1),
+			ResSwapped:   [2]Result{s0, s1},
+		})
+		if !ok {
+			break
+		}
+	}
+	// Merge the group region into the baseline and roll everything —
+	// setup included — back to the pristine kernel.
+	mem.Pop()
+	mem.Reset()
+	return nil
+}

@@ -194,6 +194,16 @@ func (k *Kern) Name() string { return "sv6" }
 // Memory implements kernel.Kernel.
 func (k *Kern) Memory() *mtrace.Memory { return k.mem }
 
+// Snapshot implements kernel.Kernel. Cell values are journaled by the
+// memory; the mutation sites below register OnReset hooks for state the
+// journal cannot see — map entries, the vmaCell fields, the pipe id
+// counter — so Reset leaves the kernel observationally identical to a
+// fresh instance with the same setup.
+func (k *Kern) Snapshot() { k.mem.Snapshot() }
+
+// Reset implements kernel.Kernel.
+func (k *Kern) Reset() { k.mem.Reset() }
+
 func (k *Kern) inode(inum int64) *inode {
 	ino, ok := k.inodes[inum]
 	if !ok {
@@ -210,6 +220,13 @@ func (k *Kern) inode(inum int64) *inode {
 		} else {
 			ino.nlink = scale.NewRefcache(k.mem, fmt.Sprintf("inode[%d].nlink", inum), 0)
 		}
+		// Reset must drop the inode entirely rather than keep it with
+		// journal-restored cells: the restored radix interior cells read 0,
+		// so a kept inode would re-materialize them through traced Sets —
+		// writes a fresh kernel (which Pokes them in Materialize here)
+		// never performs, changing conflict verdicts. Recreating the inode
+		// reruns this constructor and is exactly fresh.
+		k.mem.OnReset(func() { delete(k.inodes, inum) })
 		k.inodes[inum] = ino
 	}
 	return ino
@@ -223,6 +240,14 @@ func (k *Kern) newPipe(id int64) *pipe {
 		full:  map[int64]*mtrace.Cell{},
 		refs:  k.mem.NewCellf(0, "pipe[%d].refs", id),
 	}
+	prev, had := k.pipes[id]
+	k.mem.OnReset(func() {
+		if had {
+			k.pipes[id] = prev
+		} else {
+			delete(k.pipes, id)
+		}
+	})
 	k.pipes[id] = p
 	return p
 }
@@ -260,13 +285,26 @@ func (k *Kern) fget(core int, pr int, fd int64) *file {
 // otherwise a faithful lowest-FD scan maintains the shared hint.
 func (k *Kern) allocFD(core int, pr int, f *file, anyfd bool) int64 {
 	p := k.procs[pr]
+	install := func(fd int64) {
+		// A stale slot entry would redirect a later fget to the wrong file
+		// (and change its traced access pattern); restore the map on reset.
+		prev, had := p.slots[fd]
+		k.mem.OnReset(func() {
+			if had {
+				p.slots[fd] = prev
+			} else {
+				delete(p.slots, fd)
+			}
+		})
+		p.slots[fd] = f
+	}
 	if anyfd {
 		n := p.nextFD[core].Load(core)
 		p.nextFD[core].Store(core, n+1)
 		fd := 1000 + n*scale.NCores + int64(core)
 		f.slot = k.mem.NewCellf(0, "proc%d.fd[%d]", pr, fd)
 		f.slot.Store(core, 1)
-		p.slots[fd] = f
+		install(fd)
 		return fd
 	}
 	_ = p.lowHint.Add(core, 0) // shared lowest-FD cursor: read-modify-write
@@ -281,7 +319,7 @@ func (k *Kern) allocFD(core int, pr int, f *file, anyfd bool) int64 {
 			f.slot = g.slot
 		}
 		f.slot.Store(core, 1)
-		p.slots[fd] = f
+		install(fd)
 		p.lowHint.Add(core, 1)
 		return fd
 	}
@@ -335,7 +373,11 @@ func (k *Kern) Apply(s kernel.Setup) error {
 			f.inum = sd.Inum
 			k.inode(sd.Inum)
 		}
-		p.slots[sd.FD] = f
+		// The slot cell is born live (1) and never journaled; a reset must
+		// drop the entry rather than revive it.
+		fd := sd.FD
+		k.mem.OnReset(func() { delete(p.slots, fd) })
+		p.slots[fd] = f
 	}
 	for _, sv := range s.VMAs {
 		p := k.procs[sv.Proc]
@@ -343,10 +385,13 @@ func (k *Kern) Apply(s kernel.Setup) error {
 			cell: k.mem.NewCellf(1, "proc%d.vma[%d]", sv.Proc, sv.Page),
 			anon: sv.Anon, inum: sv.Inum, foff: sv.Foff, wr: sv.Writable,
 		}
-		p.vmas[sv.Page] = v
+		page := sv.Page
+		k.mem.OnReset(func() { delete(p.vmas, page) })
+		p.vmas[page] = v
 		if sv.Anon {
 			c := k.mem.NewCellf(sv.Val, "proc%d.anonpage[%d]", sv.Proc, sv.Page)
-			p.anon[sv.Page] = c
+			k.mem.OnReset(func() { delete(p.anon, page) })
+			p.anon[page] = c
 		} else {
 			k.inode(sv.Inum)
 		}

@@ -241,6 +241,8 @@ func (k *Kern) close(core int, c kernel.Call) kernel.Result {
 }
 
 func (k *Kern) pipe(core int, c kernel.Call) kernel.Result {
+	old := k.nextPipe
+	k.mem.OnReset(func() { k.nextPipe = old })
 	k.nextPipe++
 	p := k.newPipe(k.nextPipe + int64(core)*1000000)
 	p.refs.Store(core, 2)
@@ -405,6 +407,8 @@ func (k *Kern) mmap(core int, c kernel.Call) kernel.Result {
 		}
 		nv = vmaCell{inum: f.inum, foff: c.Arg("foff"), wr: c.ArgBool("wr")}
 	}
+	prev := *v
+	k.mem.OnReset(func() { v.anon, v.inum, v.foff, v.wr = prev.anon, prev.inum, prev.foff, prev.wr })
 	v.anon, v.inum, v.foff, v.wr = nv.anon, nv.inum, nv.foff, nv.wr
 	v.cell.Store(core, 1)
 	if v.anon {
@@ -428,6 +432,8 @@ func (k *Kern) mprotect(core int, c kernel.Call) kernel.Result {
 	if v.cell.Load(core) == 0 {
 		return errR(kernel.ENOMEM)
 	}
+	oldWr := v.wr
+	k.mem.OnReset(func() { v.wr = oldWr })
 	v.wr = c.ArgBool("wr")
 	v.cell.Add(core, 1)
 	return kernel.Result{}

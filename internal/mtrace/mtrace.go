@@ -11,6 +11,18 @@
 // coherence. Implementations decide cell placement, so false sharing is
 // expressible (two fields in one cell) and avoidable (padding = separate
 // cells), just as on real hardware.
+//
+// Conflict detection is online, like the real MTRACE's hypercall-driven
+// analysis: each cell carries the epoch of its last touch plus writer and
+// reader core bitmasks, updated inline on every traced access, so a traced
+// region's verdict is a counter compare and Start is an epoch bump — no
+// access log is appended or scanned. The detailed per-access log the
+// coherence simulator replays (see Accesses) is opt-in via LogAccesses.
+//
+// The memory also supports nested snapshot/reset regions (Snapshot, Reset,
+// Pop): inside a region every first write to a cell journals its old value,
+// and Reset undoes the region's writes, which is how the checker replays
+// many tests against one kernel instance instead of rebuilding it per test.
 package mtrace
 
 import (
@@ -18,14 +30,91 @@ import (
 	"sort"
 )
 
+// maxCores bounds the simulated core numbers the conflict bitmasks can
+// represent; it covers scale.NCores with headroom.
+const maxCores = 128
+
+// coreset is a fixed-width bitmask over simulated core numbers.
+type coreset [maxCores / 64]uint64
+
+func (s *coreset) add(core int) { s[core>>6] |= 1 << (core & 63) }
+
+func (s coreset) empty() bool { return s[0]|s[1] == 0 }
+
+// single reports whether exactly one bit is set.
+func (s coreset) single() bool {
+	switch {
+	case s[1] == 0:
+		return s[0] != 0 && s[0]&(s[0]-1) == 0
+	case s[0] == 0:
+		return s[1]&(s[1]-1) == 0
+	}
+	return false
+}
+
+// minus returns the cores in s that are not in o.
+func (s coreset) minus(o coreset) coreset {
+	return coreset{s[0] &^ o[0], s[1] &^ o[1]}
+}
+
+// cores lists the set bits in ascending order.
+func (s coreset) cores() []int {
+	var out []int
+	for w, bits := range s {
+		for bits != 0 {
+			b := bits & (-bits)
+			out = append(out, w*64+popLow(b))
+			bits &^= b
+		}
+	}
+	return out
+}
+
+// popLow returns the index of the (single) set bit in b.
+func popLow(b uint64) int {
+	n := 0
+	for b > 1 {
+		b >>= 1
+		n++
+	}
+	return n
+}
+
 // Memory is an allocator of traced cells plus the access recorder.
 // It is not safe for concurrent use: conflict checking runs operations
 // sequentially on simulated cores, which is exactly how the paper's MTRACE
 // executes test cases (it logs accesses and analyzes them afterward).
 type Memory struct {
 	recording bool
+	logging   bool
 	nextID    int
 	accesses  []Access
+
+	// Online conflict state: the current trace epoch, the cells touched in
+	// it (for lazy Conflicts materialization), and the conflicted-cell
+	// count that decides ConflictFree without any scan.
+	epoch   uint64
+	touched []*Cell
+	nconf   int
+
+	// Snapshot/reset journal: marks delimit nested regions; undo holds
+	// journaled old cell values; hooks holds structural undo closures
+	// registered via OnReset. jepoch dedups journaling to one entry per
+	// cell per region.
+	jepoch uint64
+	undo   []undoEntry
+	hooks  []func()
+	marks  []mark
+}
+
+type undoEntry struct {
+	cell *Cell
+	v    int64
+}
+
+type mark struct {
+	undo  int
+	hooks int
 }
 
 // NewMemory returns an empty traced memory.
@@ -45,6 +134,16 @@ type Cell struct {
 	id   int
 	name string
 	v    int64
+
+	// Conflict state for the epoch the cell was last touched in; stale
+	// (epoch != mem.epoch) state is reset lazily on first touch.
+	epoch      uint64
+	writers    coreset
+	readers    coreset
+	conflicted bool
+
+	// jepoch is the journal epoch of the cell's last journaled write.
+	jepoch uint64
 }
 
 // NewCell allocates a traced cell. The name should identify the data
@@ -76,6 +175,7 @@ func (c *Cell) Load(core int) int64 {
 // Store writes the cell from the given core.
 func (c *Cell) Store(core int, v int64) {
 	c.record(core, true)
+	c.journal()
 	c.v = v
 }
 
@@ -84,6 +184,7 @@ func (c *Cell) Store(core int, v int64) {
 func (c *Cell) Add(core int, delta int64) int64 {
 	c.record(core, false)
 	c.record(core, true)
+	c.journal()
 	c.v += delta
 	return c.v
 }
@@ -93,17 +194,60 @@ func (c *Cell) Add(core int, delta int64) int64 {
 func (c *Cell) Peek() int64 { return c.v }
 
 // Poke writes the cell without recording an access. Use only outside traced
-// regions.
-func (c *Cell) Poke(v int64) { c.v = v }
+// regions. Pokes are journaled like Stores, so setup applied inside a
+// snapshot region is undone by Reset.
+func (c *Cell) Poke(v int64) {
+	c.journal()
+	c.v = v
+}
 
 func (c *Cell) record(core int, write bool) {
-	if c.mem.recording {
-		c.mem.accesses = append(c.mem.accesses, Access{Cell: c, Core: core, Write: write})
+	m := c.mem
+	if !m.recording {
+		return
+	}
+	if m.logging {
+		m.accesses = append(m.accesses, Access{Cell: c, Core: core, Write: write})
+	}
+	if c.epoch != m.epoch {
+		c.epoch = m.epoch
+		c.writers, c.readers = coreset{}, coreset{}
+		c.conflicted = false
+		m.touched = append(m.touched, c)
+	}
+	if write {
+		c.writers.add(core)
+	} else {
+		c.readers.add(core)
+	}
+	// A cell conflicts when some core wrote it and a different core read
+	// or wrote it: more than one writer, or any reader outside the single
+	// writer's bit.
+	if !c.conflicted && !c.writers.empty() &&
+		(!c.writers.single() || !c.readers.minus(c.writers).empty()) {
+		c.conflicted = true
+		m.nconf++
 	}
 }
 
-// Start clears the access log and begins recording (the test hypercall).
+// journal records the cell's value once per snapshot region, so Reset can
+// restore it. A no-op outside snapshot regions.
+func (c *Cell) journal() {
+	m := c.mem
+	if len(m.marks) == 0 || c.jepoch == m.jepoch {
+		return
+	}
+	c.jepoch = m.jepoch
+	m.undo = append(m.undo, undoEntry{cell: c, v: c.v})
+}
+
+// Start begins a fresh traced region (the test hypercall): an epoch bump
+// invalidates every cell's conflict state lazily, nothing is scanned or
+// cleared per cell.
 func (m *Memory) Start() {
+	m.epoch++
+	m.touched = m.touched[:0]
+	m.nconf = 0
 	m.accesses = m.accesses[:0]
 	m.recording = true
 }
@@ -111,8 +255,24 @@ func (m *Memory) Start() {
 // Stop ends recording.
 func (m *Memory) Stop() { m.recording = false }
 
-// Accesses returns the recorded access log.
-func (m *Memory) Accesses() []Access { return m.accesses }
+// LogAccesses switches the per-access log on or off. The log exists for
+// consumers that replay access sequences (the coherence simulator); the
+// conflict checker itself never needs it, so it is off by default and the
+// CHECK hot path pays nothing for it.
+func (m *Memory) LogAccesses(on bool) { m.logging = on }
+
+// Accesses returns a copy of the recorded access log (empty unless
+// LogAccesses(true) was set before the traced region ran). It is a copy
+// because the internal buffer is truncated and overwritten in place by the
+// next Start; callers routinely hold the result across traced regions.
+func (m *Memory) Accesses() []Access {
+	if len(m.accesses) == 0 {
+		return nil
+	}
+	out := make([]Access, len(m.accesses))
+	copy(out, m.accesses)
+	return out
+}
 
 // Conflict describes a cell that was written by one core and touched by
 // another during the traced region.
@@ -124,70 +284,94 @@ type Conflict struct {
 	Readers []int
 }
 
-// Conflicts analyzes the access log and returns every conflicted cell,
+// Conflicts returns every conflicted cell of the last traced region,
 // sorted by name. A cell conflicts when some core wrote it and a different
-// core read or wrote it.
+// core read or wrote it. The detailed report is materialized lazily from
+// the touched-cell list — the common conflict-free region returns nil
+// without any work.
 func (m *Memory) Conflicts() []Conflict {
-	type stat struct {
-		cell    *Cell
-		writers map[int]bool
-		readers map[int]bool
+	if m.nconf == 0 {
+		return nil
 	}
-	stats := map[int]*stat{}
-	for _, a := range m.accesses {
-		s := stats[a.Cell.id]
-		if s == nil {
-			s = &stat{cell: a.Cell, writers: map[int]bool{}, readers: map[int]bool{}}
-			stats[a.Cell.id] = s
-		}
-		if a.Write {
-			s.writers[a.Core] = true
-		} else {
-			s.readers[a.Core] = true
-		}
-	}
-	var out []Conflict
-	for _, s := range stats {
-		if len(s.writers) == 0 {
+	out := make([]Conflict, 0, m.nconf)
+	for _, c := range m.touched {
+		if !c.conflicted {
 			continue
 		}
-		conflicted := len(s.writers) > 1
-		if !conflicted {
-			var w int
-			for c := range s.writers {
-				w = c
-			}
-			for c := range s.readers {
-				if c != w {
-					conflicted = true
-					break
-				}
-			}
-		}
-		if conflicted {
-			out = append(out, Conflict{
-				CellName: s.cell.name,
-				Writers:  sortedCores(s.writers),
-				Readers:  sortedCores(s.readers),
-			})
-		}
+		out = append(out, Conflict{
+			CellName: c.name,
+			Writers:  c.writers.cores(),
+			Readers:  c.readers.cores(),
+		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].CellName < out[j].CellName })
 	return out
 }
 
 // ConflictFree reports whether the traced region had no access conflicts.
-func (m *Memory) ConflictFree() bool { return len(m.Conflicts()) == 0 }
-
-func sortedCores(set map[int]bool) []int {
-	out := make([]int, 0, len(set))
-	for c := range set {
-		out = append(out, c)
-	}
-	sort.Ints(out)
-	return out
-}
+// It is a counter compare: conflicts are detected online as accesses are
+// recorded.
+func (m *Memory) ConflictFree() bool { return m.nconf == 0 }
 
 func (c Conflict) String() string {
 	return fmt.Sprintf("%s (writers %v, readers %v)", c.CellName, c.Writers, c.Readers)
+}
+
+// Snapshot opens a nested snapshot region: every subsequent write (Store,
+// Add, Poke) journals the cell's prior value once, and structural changes
+// can register undo closures via OnReset. Reset restores the state at the
+// matching Snapshot. Regions nest; Pop merges the innermost region into
+// its parent without restoring.
+func (m *Memory) Snapshot() {
+	m.marks = append(m.marks, mark{undo: len(m.undo), hooks: len(m.hooks)})
+	m.jepoch++
+}
+
+// Reset undoes every journaled write and runs every OnReset hook of the
+// innermost snapshot region, newest first, leaving the region open so the
+// next test can run from the same state. It must not be called inside a
+// traced region (Reset itself is untraced by design).
+func (m *Memory) Reset() {
+	if len(m.marks) == 0 {
+		panic("mtrace: Reset without Snapshot")
+	}
+	mk := m.marks[len(m.marks)-1]
+	for i := len(m.undo) - 1; i >= mk.undo; i-- {
+		e := m.undo[i]
+		e.cell.v = e.v
+	}
+	m.undo = m.undo[:mk.undo]
+	for i := len(m.hooks) - 1; i >= mk.hooks; i-- {
+		m.hooks[i]()
+	}
+	m.hooks = m.hooks[:mk.hooks]
+	// New journal epoch: cells journaled in the finished generation must
+	// journal again on their next write.
+	m.jepoch++
+}
+
+// Pop closes the innermost snapshot region, merging its journal entries
+// and hooks into the parent region instead of restoring them: a later
+// Reset of the parent undoes both generations in reverse order, so the
+// oldest value wins, exactly as if the inner region never existed.
+func (m *Memory) Pop() {
+	if len(m.marks) == 0 {
+		panic("mtrace: Pop without Snapshot")
+	}
+	m.marks = m.marks[:len(m.marks)-1]
+}
+
+// Journaling reports whether a snapshot region is open.
+func (m *Memory) Journaling() bool { return len(m.marks) > 0 }
+
+// OnReset registers a structural undo closure on the innermost snapshot
+// region — for state the journal cannot see (map entries, plain struct
+// fields). Reset runs hooks newest-first after restoring cell values. A
+// no-op outside snapshot regions, so implementation code can register
+// hooks unconditionally at mutation sites.
+func (m *Memory) OnReset(fn func()) {
+	if len(m.marks) == 0 {
+		return
+	}
+	m.hooks = append(m.hooks, fn)
 }

@@ -1,0 +1,255 @@
+package mtrace
+
+// Differential oracle for the online epoch/bitset conflict detector: a
+// direct reimplementation of the legacy algorithm — scan the full access
+// log, build per-cell writer/reader core maps, report cells with more
+// than one writer or with a reader besides the single writer — is run on
+// randomized multi-core access sequences and must agree with the online
+// verdict and the lazily materialized []Conflict report.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// legacyConflicts is the pre-epoch implementation, kept verbatim as the
+// oracle: map-based post-hoc analysis over the access log.
+func legacyConflicts(accesses []Access) []Conflict {
+	type cellState struct {
+		cell    *Cell
+		writers map[int]bool
+		readers map[int]bool
+	}
+	states := map[*Cell]*cellState{}
+	var order []*cellState
+	for _, a := range accesses {
+		st := states[a.Cell]
+		if st == nil {
+			st = &cellState{cell: a.Cell, writers: map[int]bool{}, readers: map[int]bool{}}
+			states[a.Cell] = st
+			order = append(order, st)
+		}
+		if a.Write {
+			st.writers[a.Core] = true
+		} else {
+			st.readers[a.Core] = true
+		}
+	}
+	var out []Conflict
+	for _, st := range order {
+		conflict := len(st.writers) > 1
+		if !conflict && len(st.writers) == 1 {
+			var w int
+			for core := range st.writers {
+				w = core
+			}
+			for core := range st.readers {
+				if core != w {
+					conflict = true
+					break
+				}
+			}
+		}
+		if conflict {
+			out = append(out, Conflict{
+				CellName: st.cell.Name(),
+				Writers:  sortedCores(st.writers),
+				Readers:  sortedCores(st.readers),
+			})
+		}
+	}
+	sortConflicts(out)
+	return out
+}
+
+func sortedCores(set map[int]bool) []int {
+	var out []int
+	for c := range set {
+		out = append(out, c)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func sortConflicts(cs []Conflict) {
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && cs[j].CellName < cs[j-1].CellName; j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}
+
+// scriptStep drives one traced access in the differential runs.
+type scriptStep struct {
+	cell  int
+	core  int
+	write bool
+}
+
+// runScript replays the steps on a fresh memory with the access log on and
+// returns the online results plus the captured log for the oracle.
+func runScript(t *testing.T, ncells int, steps []scriptStep) (bool, []Conflict, []Access) {
+	t.Helper()
+	m := NewMemory()
+	m.LogAccesses(true)
+	cells := make([]*Cell, ncells)
+	for i := range cells {
+		cells[i] = m.NewCellf(0, "cell%d", i)
+	}
+	m.Start()
+	for _, s := range steps {
+		if s.write {
+			cells[s.cell].Store(s.core, 1)
+		} else {
+			cells[s.cell].Load(s.core)
+		}
+	}
+	m.Stop()
+	return m.ConflictFree(), m.Conflicts(), m.Accesses()
+}
+
+func TestOnlineMatchesLegacyOracle(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ncells := 1 + rng.Intn(8)
+		// Core numbers deliberately straddle the 64-bit word boundary of
+		// the coreset so both mask words are exercised.
+		corePool := []int{0, 1, 2, 63, 64, 65, 95, 127}
+		nsteps := rng.Intn(40)
+		steps := make([]scriptStep, nsteps)
+		for i := range steps {
+			steps[i] = scriptStep{
+				cell:  rng.Intn(ncells),
+				core:  corePool[rng.Intn(len(corePool))],
+				write: rng.Intn(2) == 0,
+			}
+		}
+		free, got, log := runScript(t, ncells, steps)
+		want := legacyConflicts(log)
+		if free != (len(want) == 0) {
+			t.Logf("seed %d: ConflictFree=%v but oracle found %d conflicts", seed, free, len(want))
+			return false
+		}
+		if len(got) == 0 && len(want) == 0 {
+			return true
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Logf("seed %d:\n online: %v\n oracle: %v", seed, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOnlineMatchesLegacyAcrossEpochs reruns several traced regions on the
+// same memory: the epoch bump must fully isolate regions (stale bitset
+// state from one region must never leak a conflict into the next).
+func TestOnlineMatchesLegacyAcrossEpochs(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	m := NewMemory()
+	m.LogAccesses(true)
+	cells := make([]*Cell, 6)
+	for i := range cells {
+		cells[i] = m.NewCellf(0, "cell%d", i)
+	}
+	for round := 0; round < 200; round++ {
+		m.Start()
+		nsteps := rng.Intn(25)
+		for i := 0; i < nsteps; i++ {
+			c := cells[rng.Intn(len(cells))]
+			core := rng.Intn(96)
+			switch rng.Intn(3) {
+			case 0:
+				c.Load(core)
+			case 1:
+				c.Store(core, int64(i))
+			case 2:
+				c.Add(core, 1)
+			}
+		}
+		m.Stop()
+		want := legacyConflicts(m.Accesses())
+		if m.ConflictFree() != (len(want) == 0) {
+			t.Fatalf("round %d: ConflictFree=%v, oracle conflicts=%d",
+				round, m.ConflictFree(), len(want))
+		}
+		got := m.Conflicts()
+		if len(got) != len(want) {
+			t.Fatalf("round %d: online %v != oracle %v", round, got, want)
+		}
+		for i := range got {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Fatalf("round %d: online %v != oracle %v", round, got, want)
+			}
+		}
+	}
+}
+
+// TestAccessesReturnsCopy is the regression test for the aliasing bug: the
+// slice returned by Accesses must survive a subsequent Start truncating
+// and overwriting the internal buffer.
+func TestAccessesReturnsCopy(t *testing.T) {
+	m := NewMemory()
+	m.LogAccesses(true)
+	a := m.NewCell("a", 0)
+	b := m.NewCell("b", 0)
+
+	m.Start()
+	a.Store(0, 1)
+	a.Load(1)
+	m.Stop()
+	log := m.Accesses()
+	if len(log) != 2 || log[0].Cell != a || !log[0].Write || log[1].Cell != a || log[1].Write {
+		t.Fatalf("unexpected first log: %+v", log)
+	}
+
+	// A second traced region reuses the internal buffer in place; the
+	// previously returned slice must not change.
+	m.Start()
+	b.Load(5)
+	b.Store(6, 2)
+	m.Stop()
+	if log[0].Cell != a || log[0].Core != 0 || !log[0].Write {
+		t.Fatalf("Accesses result aliased internal buffer: %+v", log[0])
+	}
+	if log[1].Cell != a || log[1].Core != 1 || log[1].Write {
+		t.Fatalf("Accesses result aliased internal buffer: %+v", log[1])
+	}
+
+	log2 := m.Accesses()
+	if len(log2) != 2 || log2[0].Cell != b || log2[1].Cell != b {
+		t.Fatalf("unexpected second log: %+v", log2)
+	}
+}
+
+// TestAccessLogOptIn pins that the detailed log is off by default (the
+// CHECK hot path must not pay for it) and that conflicts are still
+// detected without it.
+func TestAccessLogOptIn(t *testing.T) {
+	m := NewMemory()
+	c := m.NewCell("c", 0)
+	m.Start()
+	c.Store(0, 1)
+	c.Load(1)
+	m.Stop()
+	if got := m.Accesses(); got != nil {
+		t.Fatalf("access log recorded without LogAccesses(true): %+v", got)
+	}
+	if m.ConflictFree() {
+		t.Fatal("conflict missed with access log disabled")
+	}
+	want := []Conflict{{CellName: "c", Writers: []int{0}, Readers: []int{1}}}
+	if got := m.Conflicts(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Conflicts() = %v, want %v", got, want)
+	}
+}

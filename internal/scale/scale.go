@@ -250,11 +250,20 @@ func (d *HashDir) Insert(core int, name, inum int64) bool {
 	}
 	if !ok {
 		e = d.mem.NewCellf(0, "%s.entry[%d]", d.name, name)
-		b.entries[name] = e
+		d.installEntry(b, name, e)
 		b.list.Add(core, 1)
 	}
 	e.Store(core, inum)
 	return true
+}
+
+// installEntry adds an entry with a snapshot-reset hook removing it again:
+// a stale entry would skip the bucket-list write a fresh directory's
+// Insert performs (and add an entry read to lookups of an unbound name),
+// changing the traced access pattern between replays.
+func (d *HashDir) installEntry(b *dirBucket, name int64, e *mtrace.Cell) {
+	d.mem.OnReset(func() { delete(b.entries, name) })
+	b.entries[name] = e
 }
 
 // Remove unbinds name; it reports whether the name was bound.
@@ -280,7 +289,7 @@ func (d *HashDir) Replace(core int, name, inum int64) int64 {
 	e, ok := b.entries[name]
 	if !ok {
 		e = d.mem.NewCellf(0, "%s.entry[%d]", d.name, name)
-		b.entries[name] = e
+		d.installEntry(b, name, e)
 		b.list.Add(core, 1)
 	}
 	old := e.Load(core)
@@ -294,7 +303,7 @@ func (d *HashDir) PokeInsert(name, inum int64) {
 	e, ok := b.entries[name]
 	if !ok {
 		e = d.mem.NewCellf(0, "%s.entry[%d]", d.name, name)
-		b.entries[name] = e
+		d.installEntry(b, name, e)
 	}
 	e.Poke(inum)
 }

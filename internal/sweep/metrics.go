@@ -52,6 +52,9 @@ var (
 		"commuter_coalesce_handoffs_total",
 		"Canceled coalescing leaders that handed execution to a surviving waiter.",
 		"tier")
+	metricCheckShardBorrows = obs.Default.Counter(
+		"commuter_check_shard_borrows_total",
+		"Extra worker permits borrowed by CHECK stages to replay setup groups in parallel.")
 	metricSatCalls = obs.Default.Counter(
 		"commuter_solver_sat_calls_total",
 		"Backtracking satisfiability searches started by sweep pairs.")
@@ -132,6 +135,8 @@ func observePair(pr *PairResult) {
 		"coalesced", pr.Coalesced,
 		"unknown", pr.Unknown,
 		"elapsed_ms", pr.ElapsedMS,
+		"check_groups", pr.CheckGroups,
+		"check_shards", pr.CheckShards,
 		"analyze_ms", pr.Phases.AnalyzeMS,
 		"testgen_ms", pr.Phases.TestgenMS,
 		"check_ms", pr.Phases.CheckMS,

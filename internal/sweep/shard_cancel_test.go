@@ -1,0 +1,144 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/kernel"
+)
+
+// trippingContext reports cancellation after its Err method has been
+// consulted a fixed number of times — deterministic mid-run cancellation
+// for code that polls ctx.Err() at its stopping points, where a timer or
+// an external cancel() would race the replay loop.
+type trippingContext struct {
+	context.Context
+	polls atomic.Int64
+	trip  int64
+}
+
+func (c *trippingContext) Err() error {
+	if c.polls.Add(1) > c.trip {
+		return context.Canceled
+	}
+	return c.Context.Err()
+}
+
+// shardTestCases hand-builds a CHECK batch with many distinct setups, so
+// the sharded replay has real groups to partition. The (g%4, g%3, g%5)
+// shape triple repeats only every lcm = 60 groups, so up to 60 groups
+// every fingerprint is distinct.
+func shardTestCases(groups, perGroup int) []kernel.TestCase {
+	var tests []kernel.TestCase
+	for g := 0; g < groups; g++ {
+		inum := int64(1 + g%3)
+		setup := kernel.Setup{
+			Files:  []kernel.SetupFile{{Name: kernel.Fname(int64(g % 4)), Inum: inum}},
+			Inodes: []kernel.SetupInode{{Inum: inum, Len: int64(g % 5)}},
+		}
+		for i := 0; i < perGroup; i++ {
+			tests = append(tests, kernel.TestCase{
+				ID:    fmt.Sprintf("g%d_t%d", g, i),
+				Setup: setup,
+				Calls: [2]kernel.Call{
+					{Op: "stat", Proc: 0, Args: map[string]int64{"fname": int64(g % 4)}},
+					{Op: "stat", Proc: 1, Args: map[string]int64{"fname": int64((g + 1) % 4)}},
+				},
+			})
+		}
+	}
+	return tests
+}
+
+// TestShardedCheckCancelStopsPromptly pins the sharded replay's
+// cancellation contract, best run under -race: once the context reports
+// cancellation mid-batch, every shard stops at its next poll point,
+// checkTestsSharded returns the context error with partial counts, all
+// shard goroutines exit before it returns, and every borrowed worker
+// permit is back in the budget.
+func TestShardedCheckCancelStopsPromptly(t *testing.T) {
+	tests := shardTestCases(32, 4)
+	ks := testKernels()[0]
+	budget := newWorkerBudget(4)
+	budget.acquire() // the caller's own base permit
+	defer budget.release(1)
+
+	before := runtime.NumGoroutine()
+	ctx := &trippingContext{Context: context.Background(), trip: 25}
+	total, _, groups, shards, err := checkTestsSharded(ctx, ks.New, tests, budget)
+
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sharded check returned %v, want context.Canceled", err)
+	}
+	if groups != 32 {
+		t.Errorf("grouped %d setups, want 32", groups)
+	}
+	if shards < 2 {
+		t.Errorf("borrowed no permits (shards=%d) despite an idle budget", shards)
+	}
+	if total >= len(tests) {
+		t.Errorf("cancelled run still checked all %d tests", total)
+	}
+
+	// Every borrowed permit is back: with the base permit still held, the
+	// other three must be immediately acquirable.
+	if got := budget.tryAcquire(4); got != 3 {
+		t.Errorf("budget has %d free permits after cancellation, want 3", got)
+	} else {
+		budget.release(got)
+	}
+
+	// Shard goroutines must all have exited; allow the runtime a moment to
+	// retire them.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutine leak: %d before sharded check, %d after", before, after)
+	}
+}
+
+// TestShardedCheckCancelDoesNotCacheTruncatedCell pins the cache side of
+// the contract: a CHECK stage cut short by cancellation must not store its
+// partial counts, and a later uncancelled run computes and stores the
+// complete cell under the same key.
+func TestShardedCheckCancelDoesNotCacheTruncatedCell(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := shardTestCases(16, 4)
+	ks := testKernels()[0]
+	cfg := Config{Cache: cache}
+	out := PairResult{OpA: "stat", OpB: "stat"}
+	var counters runCounters
+
+	ctx := &trippingContext{Context: context.Background(), trip: 10}
+	if _, err := runCheck(ctx, ks, tests, 0, cfg, "ck-cancel-key", &out, &counters, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled runCheck returned %v, want context.Canceled", err)
+	}
+	if _, ok := cache.GetCell("ck-cancel-key"); ok {
+		t.Fatalf("cancelled CHECK stored a truncated cell")
+	}
+
+	outcome, err := runCheck(context.Background(), ks, tests, 0, cfg, "ck-cancel-key", &out, &counters, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome.fromCache {
+		t.Fatalf("rerun was served from cache despite no stored cell")
+	}
+	cl, ok := cache.GetCell("ck-cancel-key")
+	if !ok {
+		t.Fatalf("complete CHECK did not store its cell")
+	}
+	if cl.Total != len(tests) {
+		t.Errorf("stored cell counts %d tests, want %d", cl.Total, len(tests))
+	}
+}

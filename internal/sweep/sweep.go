@@ -129,6 +129,16 @@ type PairResult struct {
 	// not run that stage, another in-process sweep did. Phase and solver
 	// counters cover only work this sweep performed itself.
 	Coalesced bool `json:"coalesced,omitempty"`
+	// CheckGroups is the number of distinct setup fingerprints the pair's
+	// tests were batched into for CHECK (zero for a cached or coalesced
+	// pair, like the phase times). Grouping is deterministic: it depends
+	// only on the generated tests.
+	CheckGroups int `json:"check_groups,omitempty"`
+	// CheckShards is the largest number of replay shards any kernel's
+	// CHECK ran on, 1 meaning fully sequential. Unlike CheckGroups it is a
+	// scheduling artifact — it depends on how many workers were idle — so
+	// result comparisons should ignore it like the timing fields.
+	CheckShards int `json:"check_shards,omitempty"`
 	// ElapsedMS is the wall time this pair took in this sweep.
 	ElapsedMS float64 `json:"elapsed_ms"`
 	// StartMS is when this pair started, in milliseconds from the start
@@ -265,12 +275,19 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		failed   atomic.Bool // fail fast: stop starting pairs after the first error
 		counters runCounters
 	)
+	// One permit per worker: each pair holds its own permit while it runs,
+	// and a pair's CHECK stage borrows whatever permits are idle to shard
+	// its replay batches — so a hot pair (open/open) spreads across workers
+	// the cold tail has stopped using, without ever exceeding the pool.
+	budget := newWorkerBudget(workers)
 	ParallelCtx(ctx, len(jobs), workers, func(i int) {
 		if failed.Load() || ctx.Err() != nil {
 			return
 		}
+		budget.acquire()
+		defer budget.release(1)
 		j := jobs[i]
-		pr, err := runPair(ctx, sp, j[0], j[1], cfg, start, &counters)
+		pr, err := runPair(ctx, sp, j[0], j[1], cfg, start, &counters, budget)
 		results[i], errs[i] = pr, err
 		if err != nil {
 			failed.Store(true)
@@ -413,7 +430,7 @@ type checkOutcome struct {
 // wall times, solver counters (snapshot deltas, so a caller-shared
 // solver attributes only this pair's work) and intern-table traffic,
 // both on the PairResult and in the process-wide obs registry.
-func runPair(ctx context.Context, sp spec.Spec, a, b *spec.Op, cfg Config, sweepStart time.Time, counters *runCounters) (PairResult, error) {
+func runPair(ctx context.Context, sp spec.Spec, a, b *spec.Op, cfg Config, sweepStart time.Time, counters *runCounters, budget *workerBudget) (PairResult, error) {
 	start := time.Now()
 	out := PairResult{OpA: a.Name, OpB: b.Name, StartMS: msBetween(sweepStart, start)}
 	internHits0, _ := sym.InternStats()
@@ -456,11 +473,11 @@ func runPair(ctx context.Context, sp spec.Spec, a, b *spec.Op, cfg Config, sweep
 		if coalesce {
 			var st flight.Stat
 			ck, st, err = checkFlights.Do(ctx, flightID(cfg.Cache, ckKey), func() (checkOutcome, error) {
-				return runCheck(ctx, ks, tg.tests, tg.unknown, cfg, ckKey, &out, counters)
+				return runCheck(ctx, ks, tg.tests, tg.unknown, cfg, ckKey, &out, counters, budget)
 			})
 			noteFlight(&out, st, TierCheck)
 		} else {
-			ck, err = runCheck(ctx, ks, tg.tests, tg.unknown, cfg, ckKey, &out, counters)
+			ck, err = runCheck(ctx, ks, tg.tests, tg.unknown, cfg, ckKey, &out, counters, budget)
 		}
 		if err != nil {
 			return out, wrapPairErr(&out, err)
@@ -566,7 +583,7 @@ func generateTests(ctx context.Context, sp spec.Spec, a, b *spec.Op, cfg Config,
 // runCheck is one kernel's CHECK stage: cache probe, mtrace replay on a
 // miss, best-effort store. Like generateTests it runs directly or as a
 // flight's leader, with out/counters belonging to the executing caller.
-func runCheck(ctx context.Context, ks KernelSpec, tests []kernel.TestCase, unknown int, cfg Config, ckKey string, out *PairResult, counters *runCounters) (checkOutcome, error) {
+func runCheck(ctx context.Context, ks KernelSpec, tests []kernel.TestCase, unknown int, cfg Config, ckKey string, out *PairResult, counters *runCounters, budget *workerBudget) (checkOutcome, error) {
 	if cfg.Cache != nil {
 		var (
 			cell KernelCell
@@ -582,8 +599,12 @@ func runCheck(ctx context.Context, ks KernelSpec, tests []kernel.TestCase, unkno
 		}
 	}
 	phaseStart := time.Now()
-	total, conflicts, err := CheckTestsCtx(ctx, ks.New, tests)
+	total, conflicts, groups, shards, err := checkTestsSharded(ctx, ks.New, tests, budget)
 	out.Phases.CheckMS += msSince(phaseStart)
+	out.CheckGroups = groups
+	if shards > out.CheckShards {
+		out.CheckShards = shards
+	}
 	if err != nil {
 		return checkOutcome{}, fmt.Errorf("sweep %s on %s: %w", out.Pair(), ks.Name, err)
 	}
@@ -633,22 +654,161 @@ func CheckTests(fresh func() kernel.Kernel, tests []kernel.TestCase) (total, con
 
 // CheckTestsCtx is CheckTests under a context, polling for cancellation
 // between tests (individual checks are short; the poll granularity is the
-// single test case).
+// single test case). Tests are grouped by setup fingerprint and replayed on
+// a long-lived kernel per group (kernel.Replayer), so the per-test cost is
+// the two calls plus a journal rollback rather than two fresh kernel
+// constructions.
 func CheckTestsCtx(ctx context.Context, fresh func() kernel.Kernel, tests []kernel.TestCase) (total, conflicts int, err error) {
-	for _, tc := range tests {
-		if err := ctx.Err(); err != nil {
-			return total, conflicts, err
-		}
-		res, err := kernel.Check(fresh, tc)
-		if err != nil {
-			return total, conflicts, fmt.Errorf("%s: %w", tc.ID, err)
-		}
-		total++
-		if !res.ConflictFree {
-			conflicts++
+	total, conflicts, _, _, err = checkTestsSharded(ctx, fresh, tests, nil)
+	return total, conflicts, err
+}
+
+// workerBudget is the pool-wide permit set shared between the pair-level
+// scheduler and the CHECK stage's intra-pair sharding. Capacity equals the
+// sweep's worker count: every running pair holds one base permit, and a
+// pair's CHECK stage may borrow however many permits are idle (pairs not
+// yet started, or finished) to replay its setup groups on parallel shards.
+// Borrowers only tryAcquire — never block — while holding permits, so the
+// scheme cannot deadlock: the base permits alone guarantee progress.
+type workerBudget struct {
+	sem chan struct{}
+}
+
+func newWorkerBudget(n int) *workerBudget {
+	if n < 1 {
+		n = 1
+	}
+	return &workerBudget{sem: make(chan struct{}, n)}
+}
+
+// acquire blocks for one permit (the pair-level base permit).
+func (b *workerBudget) acquire() { b.sem <- struct{}{} }
+
+// tryAcquire grabs up to max extra permits without blocking and returns
+// how many it got.
+func (b *workerBudget) tryAcquire(max int) int {
+	got := 0
+	for got < max {
+		select {
+		case b.sem <- struct{}{}:
+			got++
+		default:
+			return got
 		}
 	}
-	return total, conflicts, nil
+	return got
+}
+
+// release returns n permits.
+func (b *workerBudget) release(n int) {
+	for i := 0; i < n; i++ {
+		<-b.sem
+	}
+}
+
+// testGroup is a run of test cases sharing one initial state.
+type testGroup struct {
+	setup kernel.Setup
+	tests []kernel.TestCase
+}
+
+// groupBySetup buckets tests by setup fingerprint, preserving first-
+// appearance order. Tests generated by testgen carry a precomputed
+// SetupID; tests from other sources (hand-built, older caches) are
+// fingerprinted here.
+func groupBySetup(tests []kernel.TestCase) []testGroup {
+	var groups []testGroup
+	index := map[string]int{}
+	for _, tc := range tests {
+		id := tc.SetupID
+		if id == "" {
+			id = tc.Setup.Fingerprint()
+		}
+		gi, ok := index[id]
+		if !ok {
+			gi = len(groups)
+			index[id] = gi
+			groups = append(groups, testGroup{setup: tc.Setup})
+		}
+		groups[gi].tests = append(groups[gi].tests, tc)
+	}
+	return groups
+}
+
+// checkTestsSharded is the CHECK stage engine: it groups tests by setup,
+// borrows idle worker permits from the budget (nil budget means run
+// sequentially), and replays the groups round-robin across shards, each
+// with its own long-lived Replayer. Counts are summed, so the aggregate is
+// independent of the shard partition; on error the first failing shard in
+// partition order wins, keeping the reported error deterministic for a
+// given shard count.
+func checkTestsSharded(ctx context.Context, fresh func() kernel.Kernel, tests []kernel.TestCase, budget *workerBudget) (total, conflicts, ngroups, shards int, err error) {
+	groups := groupBySetup(tests)
+	ngroups = len(groups)
+	extra := 0
+	if budget != nil && ngroups > 1 {
+		extra = budget.tryAcquire(ngroups - 1)
+		defer budget.release(extra)
+		if extra > 0 {
+			metricCheckShardBorrows.Add(uint64(extra))
+		}
+	}
+	shards = 1 + extra
+
+	// Round-robin partition: group i goes to shard i%shards. Groups carry
+	// uneven test counts, so striping spreads large adjacent groups better
+	// than contiguous slabs.
+	parts := make([][]testGroup, shards)
+	for i, g := range groups {
+		parts[i%shards] = append(parts[i%shards], g)
+	}
+
+	runShard := func(part []testGroup) (tot, conf int, err error) {
+		var rep *kernel.Replayer
+		for _, g := range part {
+			if err := ctx.Err(); err != nil {
+				return tot, conf, err
+			}
+			if rep == nil {
+				rep = kernel.NewReplayer(fresh)
+			}
+			err = rep.CheckGroup(g.setup, g.tests, func(res kernel.CheckResult) bool {
+				tot++
+				if !res.ConflictFree {
+					conf++
+				}
+				return ctx.Err() == nil
+			})
+			if err != nil {
+				return tot, conf, err
+			}
+		}
+		return tot, conf, ctx.Err()
+	}
+
+	totals := make([]int, shards)
+	confs := make([]int, shards)
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	for s := 1; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			totals[s], confs[s], errs[s] = runShard(parts[s])
+		}(s)
+	}
+	// Shard 0 runs inline under the caller's own (base) permit.
+	totals[0], confs[0], errs[0] = runShard(parts[0])
+	wg.Wait()
+
+	for s := 0; s < shards; s++ {
+		total += totals[s]
+		conflicts += confs[s]
+		if err == nil && errs[s] != nil {
+			err = errs[s]
+		}
+	}
+	return total, conflicts, ngroups, shards, err
 }
 
 func msSince(t time.Time) float64 {

@@ -83,6 +83,11 @@ func stripTiming(pairs []PairResult) []PairResult {
 		p.StartMS = 0
 		p.Phases = PhaseTimes{}
 		p.Solver = SolverCounters{}
+		// Execution-shape details: CheckGroups is only populated when the
+		// CHECK stage actually replays (cache hits skip it), and CheckShards
+		// depends on how many worker permits were idle at that instant.
+		p.CheckGroups = 0
+		p.CheckShards = 0
 		out[i] = p
 	}
 	return out

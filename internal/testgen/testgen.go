@@ -224,6 +224,9 @@ func materialize(ops [2]*spec.Op, conc spec.Concretizer, id string, path analyze
 		return tc, err
 	}
 	tc.Setup = setup
+	// Content-address the setup so the checker can batch tests that share
+	// an initial state without recomputing the fingerprint per test.
+	tc.SetupID = setup.Fingerprint()
 	return tc, nil
 }
 
