@@ -499,6 +499,7 @@ func cmdSweep(args []string) {
 	perPath := fs.Int("per-path", 4, "max isomorphism classes per path")
 	lowest := fs.Bool("lowestfd", false, "model POSIX's lowest-FD rule instead of O_ANYFD nondeterminism")
 	tracePath := fs.String("trace", "", "write a Chrome trace-event timeline of the sweep to this file")
+	fleet := fs.String("fleet", "", "fleet coordinator: `coordinator=URL` (or a bare URL) of a commuter serve instance; this sweep then executes only the pairs it leases, sharing the work with every other member (server-side fleets are set by `serve -fleet`)")
 	logLevel := logFlag(fs)
 	fs.Parse(args)
 	setupLogging(*logLevel)
@@ -514,6 +515,9 @@ func cmdSweep(args []string) {
 	opts := sweepOptions(*specName, *ops, *kern, *perPath, *lowest, workers)
 	if *cacheDir != "" {
 		opts = append(opts, commuter.WithCache(*cacheDir))
+	}
+	if *fleet != "" {
+		opts = append(opts, commuter.WithFleet(fleetURL(*fleet)))
 	}
 	res := runSweep(ctx, cli, *out, opts)
 	if *tracePath != "" {

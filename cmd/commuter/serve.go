@@ -10,6 +10,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -30,6 +31,7 @@ func cmdServe(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", "localhost:8372", "listen address")
 	cacheDir := fs.String("cache", "", "shared sweep result cache backend: a directory (or dir:PATH), mem[:N], a peer server's http(s) URL, or a comma list layered fastest-first (empty disables caching)")
+	fleet := fs.String("fleet", "", "fleet coordinator: `coordinator=URL` (or a bare URL) of the commuter serve instance whose lease table this server's sweeps work from; empty runs every sweep standalone")
 	j := fs.Int("j", runtime.NumCPU(), "default worker pool size for sweeps that don't request one")
 	grace := fs.Duration("grace", 15*time.Second, "shutdown drain bound: how long in-flight requests may run before being cancelled")
 	pprofOn := fs.Bool("pprof", false, "mount the runtime profiler on /debug/pprof/ (exposes stacks; keep the listener trusted)")
@@ -43,6 +45,9 @@ func cmdServe(args []string) {
 	}
 	if *cacheDir != "" {
 		opts = append(opts, commuter.ServeWithCache(*cacheDir))
+	}
+	if *fleet != "" {
+		opts = append(opts, commuter.ServeWithFleet(fleetURL(*fleet)))
 	}
 	if *pprofOn {
 		opts = append(opts, commuter.ServeWithPprof())
@@ -114,4 +119,14 @@ func cacheOrNone(dir string) string {
 		return "none"
 	}
 	return dir
+}
+
+// fleetURL strips the optional "coordinator=" prefix of a -fleet value,
+// so both `-fleet coordinator=http://host:8372` (the documented form,
+// leaving room for future fleet sub-options) and a bare URL work.
+func fleetURL(v string) string {
+	if rest, ok := strings.CutPrefix(v, "coordinator="); ok {
+		return rest
+	}
+	return v
 }

@@ -6,6 +6,7 @@
 //	scalebench mail    # Figure 7(c): mail server, commutative vs regular
 //	scalebench all     # the three Figure 7 benchmarks
 //	scalebench perf    # machine-readable pipeline perf record
+//	scalebench fleet   # N-member fleet sweep speedup vs one member
 //
 // Values are operations per million simulated cycles per core; the paper's
 // absolute axes differ (real hardware), but the shapes — who scales, who
@@ -27,10 +28,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/commuter"
@@ -51,6 +56,8 @@ func main() {
 	jsonPath := flag.String("json", "", "perf: also write the record to this BENCH_*.json file")
 	server := flag.String("server", "", "perf: run the sweep on this `commuter serve` URL instead of in-process")
 	baseline := flag.String("baseline", "", "perf: compare ms records against this BENCH_*.json and fail on >2x regressions")
+	members := flag.Int("n", 2, "fleet: number of fleet members sharing one sweep")
+	perMember := flag.Int("j", 0, "fleet: worker pool size per member (default NumCPU/n, so the fleet and single-member runs use the same total parallelism budget per member)")
 	flag.Parse()
 	cores := eval.DefaultCores
 	if *coresFlag != "" {
@@ -88,6 +95,11 @@ func main() {
 			}))
 		case "perf":
 			if err := runPerf(*jsonPath, *server, *baseline); err != nil {
+				fmt.Fprintln(os.Stderr, "scalebench:", err)
+				os.Exit(1)
+			}
+		case "fleet":
+			if err := runFleetBench(*members, *perMember, *jsonPath, *baseline); err != nil {
 				fmt.Fprintln(os.Stderr, "scalebench:", err)
 				os.Exit(1)
 			}
@@ -196,6 +208,27 @@ func runPerf(jsonPath, server, baseline string) error {
 	})
 	add("sym_analyze_testgen_open_open_ms", open2, "ms")
 
+	// The same sweep sharded across a two-member fleet behind an
+	// in-process HTTP coordinator: tracks the fleet path's end-to-end
+	// cost (lease round trips included) next to the single-member
+	// wall-clock above. On a multi-core machine with idle capacity this
+	// is the near-linear speedup record; on a saturated one it bounds
+	// the coordination overhead instead.
+	fleetMS, fleetRes, err := fleetSweepWall(2, 0)
+	if err != nil {
+		return err
+	}
+	add("fig6_fs_fleet2_sweep_wall_ms", fleetMS, "ms")
+	if err := sameMatrices(res, fleetRes); err != nil {
+		return fmt.Errorf("fleet sweep diverges from single-member sweep: %w", err)
+	}
+
+	return finishReport(jsonPath, baseline, records)
+}
+
+// finishReport gates the records against a committed baseline (when one
+// is named) and writes the BENCH_*.json record (when a path is named).
+func finishReport(jsonPath, baseline string, records []benchRecord) error {
 	if baseline != "" {
 		if err := compareBaseline(baseline, records); err != nil {
 			return err
@@ -223,6 +256,111 @@ func runPerf(jsonPath, server, baseline string) error {
 	}
 	fmt.Printf("wrote %s\n", jsonPath)
 	return nil
+}
+
+// fleetSweepWall runs one cold fs-subset sweep sharded across n fleet
+// members behind an in-process HTTP coordinator and returns the wall
+// time in ms (submission of the first member to completion of the last)
+// plus one member's merged result. workers sizes each member's pool; 0
+// leaves the engine default (one per CPU).
+func fleetSweepWall(n, workers int) (float64, *commuter.SweepResult, error) {
+	// The coordinator's per-request log lines would swamp the bench
+	// output; discard them.
+	quiet := commuter.ServeWithLogger(slog.New(slog.NewTextHandler(io.Discard, nil)))
+	h, err := commuter.NewServerHandler(commuter.Local(), quiet)
+	if err != nil {
+		return 0, nil, err
+	}
+	coord := httptest.NewServer(h)
+	defer coord.Close()
+	opts := []commuter.Option{commuter.WithOpSet("fs"), commuter.WithFleet(coord.URL)}
+	if workers > 0 {
+		opts = append(opts, commuter.WithWorkers(workers))
+	}
+	results := make([]*commuter.SweepResult, n)
+	errs := make([]error, n)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = commuter.Local().Sweep(context.Background(), opts...)
+		}(i)
+	}
+	wg.Wait()
+	wall := float64(time.Since(start)) / 1e6
+	for i, err := range errs {
+		if err != nil {
+			return 0, nil, fmt.Errorf("fleet member %d: %w", i, err)
+		}
+	}
+	for i := 1; i < n; i++ {
+		if err := sameMatrices(results[0], results[i]); err != nil {
+			return 0, nil, fmt.Errorf("fleet members 0 and %d disagree: %w", i, err)
+		}
+	}
+	return wall, results[0], nil
+}
+
+// sameMatrices asserts two sweeps render byte-identical Figure 6
+// matrices — the correctness guard behind every fleet measurement.
+func sameMatrices(a, b *commuter.SweepResult) error {
+	ma, mb := eval.MatricesFromSweep(a), eval.MatricesFromSweep(b)
+	if len(ma) != len(mb) {
+		return fmt.Errorf("%d vs %d kernel matrices", len(ma), len(mb))
+	}
+	for i := range ma {
+		if fa, fb := eval.FormatMatrix(ma[i]), eval.FormatMatrix(mb[i]); fa != fb {
+			return fmt.Errorf("matrix %d differs:\n%s\nvs:\n%s", i, fa, fb)
+		}
+	}
+	return nil
+}
+
+// runFleetBench measures the fleet speedup directly: one cold fs-subset
+// sweep on a single member, then the same sweep sharded across n
+// members, each with the same per-member worker-pool size, so on a
+// machine with n*j idle CPUs the fleet run approaches n-times the
+// single-member throughput. A warmup sweep first takes the process-global
+// interner warming out of the comparison.
+func runFleetBench(n, workers int, jsonPath, baseline string) error {
+	if n < 2 {
+		return fmt.Errorf("fleet: need at least 2 members, have %d", n)
+	}
+	if workers <= 0 {
+		workers = max(1, runtime.NumCPU()/n)
+	}
+	var records []benchRecord
+	add := func(name string, value float64, unit string) {
+		records = append(records, benchRecord{Name: name, Value: value, Unit: unit})
+		fmt.Printf("%-32s %12.2f %s\n", name, value, unit)
+	}
+	fmt.Printf("fleet: %d members x %d workers on %d CPUs\n", n, workers, runtime.NumCPU())
+
+	ctx := context.Background()
+	if _, err := commuter.Local().Sweep(ctx, commuter.WithOpSet("fs"), commuter.WithWorkers(workers)); err != nil {
+		return err
+	}
+	start := time.Now()
+	single, err := commuter.Local().Sweep(ctx, commuter.WithOpSet("fs"), commuter.WithWorkers(workers))
+	if err != nil {
+		return err
+	}
+	singleMS := float64(time.Since(start)) / 1e6
+	add("fleet_fs_single_wall_ms", singleMS, "ms")
+
+	fleetMS, fleetRes, err := fleetSweepWall(n, workers)
+	if err != nil {
+		return err
+	}
+	add(fmt.Sprintf("fleet_fs_fleet%d_wall_ms", n), fleetMS, "ms")
+	add(fmt.Sprintf("fleet_fs_fleet%d_speedup", n), singleMS/fleetMS, "x")
+	add("fleet_fs_workers_per_member", float64(workers), "workers")
+	if err := sameMatrices(single, fleetRes); err != nil {
+		return fmt.Errorf("fleet sweep diverges from single-member sweep: %w", err)
+	}
+	return finishReport(jsonPath, baseline, records)
 }
 
 // Baseline gate tuning: a wall-time record regresses when it exceeds

@@ -108,6 +108,7 @@ type callOptions struct {
 	cache    sweep.Backend
 	ops      string
 	kernels  []string
+	fleet    string
 }
 
 // WithSpec selects the interface specification to analyze ("posix" when
@@ -141,6 +142,17 @@ func WithCache(spec string) Option { return func(o *callOptions) { o.cacheDir = 
 // handle (and its statistics) across calls; the serve endpoint uses it to
 // put the process-wide cache behind every request.
 func WithCacheBackend(b sweep.Backend) Option { return func(o *callOptions) { o.cache = b } }
+
+// WithFleet makes Sweep a fleet member coordinated by the `commuter
+// serve` instance at coordinatorURL: the sweep claims pair leases from
+// the coordinator, executes only those, and merges the fleet-wide
+// matrix — N processes sweeping with the same options and coordinator
+// compute every pair exactly once between them, and each returns the
+// identical complete result. It applies to Local clients (a server
+// joins a fleet via `commuter serve -fleet`); a Dial client rejects it.
+func WithFleet(coordinatorURL string) Option {
+	return func(o *callOptions) { o.fleet = coordinatorURL }
+}
 
 // WithOps selects an explicit operation universe for Sweep by name.
 func WithOps(names ...string) Option {

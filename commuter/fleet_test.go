@@ -1,0 +1,122 @@
+package commuter_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/commuter"
+	"repro/internal/api"
+	"repro/internal/eval"
+	"repro/internal/sweep"
+)
+
+// TestFleetSweepAcrossServers is the end-to-end fleet contract: two
+// `commuter serve` instances pointed at one coordinator each answer a
+// concurrent sweep of the same options with the complete matrix,
+// byte-identical to a single-server run, and the pair executions are
+// split between them — every pair computed exactly once fleet-wide
+// (asserted through the same /metrics counter the CI smoke job sums).
+func TestFleetSweepAcrossServers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline in -short mode")
+	}
+	ctx := context.Background()
+	opts := []commuter.Option{commuter.WithOps("stat", "lseek", "close"), commuter.WithWorkers(2)}
+	const pairs = 6
+
+	// The single-server reference matrix.
+	ref, err := commuter.Local().Sweep(ctx, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, coord := newLoopback(t)
+	cliA, srvA := newLoopback(t, commuter.ServeWithFleet(coord.URL))
+	cliB, _ := newLoopback(t, commuter.ServeWithFleet(coord.URL))
+
+	// Metrics are process-global, so the counter delta across the sweep is
+	// the fleet-wide execution count: 6 means every pair ran exactly once.
+	_, before := scrape(t, srvA.URL)
+
+	var wg sync.WaitGroup
+	results := make([]*commuter.SweepResult, 2)
+	errs := make([]error, 2)
+	for i, cli := range []commuter.Client{cliA, cliB} {
+		wg.Add(1)
+		go func(i int, cli commuter.Client) {
+			defer wg.Done()
+			results[i], errs[i] = cli.Sweep(ctx, opts...)
+		}(i, cli)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("fleet member %d: %v", i, err)
+		}
+	}
+
+	want := eval.FormatMatrix(eval.MatricesFromSweep(ref)[0])
+	for i, res := range results {
+		if len(res.Pairs) != pairs {
+			t.Errorf("fleet member %d returned %d pairs, want %d (truncated matrix)", i, len(res.Pairs), pairs)
+		}
+		if got := eval.FormatMatrix(eval.MatricesFromSweep(res)[0]); got != want {
+			t.Errorf("fleet member %d matrix diverges from single-server run\ngot:\n%s\nwant:\n%s", i, got, want)
+		}
+	}
+
+	_, after := scrape(t, srvA.URL)
+	if d := after["commuter_fleet_pairs_executed_total"] - before["commuter_fleet_pairs_executed_total"]; d != pairs {
+		t.Errorf("fleet executed %v pairs for a %d-pair sweep, want exactly once each", d, pairs)
+	}
+	if d := after["commuter_fleet_duplicate_results_total"] - before["commuter_fleet_duplicate_results_total"]; d != 0 {
+		t.Errorf("%v duplicate result posts during a healthy fleet sweep", d)
+	}
+}
+
+// TestFleetStatusRoute pins the coordinator's status endpoint through
+// the full HTTP stack: claim one lease, then read the table back.
+func TestFleetStatusRoute(t *testing.T) {
+	_, coord := newLoopback(t)
+	fc, err := sweep.NewHTTPFleetClient(coord.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := sweep.FleetSweepSpec{Spec: "posix", Ops: []string{"stat", "close"}, Kernels: []string{"linux"}}
+	cr, err := fc.Claim(context.Background(), sweep.FleetClaimRequest{
+		Version: sweep.FleetAPIVersion, Worker: "w1", Max: 1, Sweep: sw,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cr.Leases) != 1 || cr.Total != 3 {
+		t.Fatalf("claim over HTTP: %+v", cr)
+	}
+	st, err := fc.Status(context.Background(), sw, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Total != 3 || st.Leased != 1 || st.Pending != 2 || st.Workers["w1"].Leased != 1 {
+		t.Errorf("status over HTTP: %+v", st)
+	}
+
+	// A status read for a sweep nobody claimed from is a clean 400.
+	_, err = fc.Status(context.Background(), sweep.FleetSweepSpec{Spec: "posix", Ops: []string{"lseek"}}, false)
+	if err == nil || !strings.Contains(err.Error(), "unknown sweep") {
+		t.Errorf("unknown-session status: %v, want unknown-sweep error", err)
+	}
+}
+
+// TestDialRejectsWithFleet pins the option boundary: fleet membership is
+// the executing side's configuration, exactly like the cache.
+func TestDialRejectsWithFleet(t *testing.T) {
+	cli, _ := newLoopback(t)
+	_, err := cli.Sweep(context.Background(), commuter.WithFleet("http://example.invalid"))
+	var ae *api.Error
+	if !errors.As(err, &ae) || ae.Code != api.CodeBadRequest || !strings.Contains(ae.Message, "serve -fleet") {
+		t.Fatalf("Dial+WithFleet: %v, want bad-request pointing at serve -fleet", err)
+	}
+}

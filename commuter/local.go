@@ -265,6 +265,13 @@ func (localClient) SweepStream(ctx context.Context, opts ...Option) iter.Seq2[Sw
 			yield(SweepUpdate{}, err)
 			return
 		}
+		var fc sweep.FleetClient
+		if o.fleet != "" {
+			if fc, err = sweep.NewHTTPFleetClient(o.fleet); err != nil {
+				yield(SweepUpdate{}, badRequest(err))
+				return
+			}
+		}
 
 		// The engine pushes events from worker goroutines; the iterator
 		// pulls. A channel bridges the two, and an own cancel scope makes
@@ -289,7 +296,11 @@ func (localClient) SweepStream(ctx context.Context, opts ...Option) iter.Seq2[Sw
 		}
 		go func() {
 			defer close(updates)
-			res, runErr = sweep.RunContext(sctx, cfg)
+			if fc != nil {
+				res, runErr = sweep.RunFleet(sctx, cfg, fc)
+			} else {
+				res, runErr = sweep.RunContext(sctx, cfg)
+			}
 		}()
 
 		for upd := range updates {

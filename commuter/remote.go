@@ -57,6 +57,10 @@ func remoteOptions(opts []Option) (callOptions, error) {
 		return o, &api.Error{Code: api.CodeBadRequest,
 			Message: "commuter: WithCache applies to local clients; a server's cache is configured by `commuter serve -cache`"}
 	}
+	if o.fleet != "" {
+		return o, &api.Error{Code: api.CodeBadRequest,
+			Message: "commuter: WithFleet applies to local clients; a server joins a fleet via `commuter serve -fleet`"}
+	}
 	return o, nil
 }
 

@@ -29,6 +29,7 @@ type serverOptions struct {
 	workers   int
 	logger    *slog.Logger
 	pprof     bool
+	fleetURL  string
 }
 
 // ServeWithCache hosts the two-tier sweep cache described by spec behind
@@ -73,6 +74,20 @@ func ServeWithPprof() ServerOption {
 	return func(o *serverOptions) { o.pprof = true }
 }
 
+// ServeWithFleet makes every sweep this server runs a fleet member
+// coordinated by the server at coordinatorURL: instead of executing the
+// full pair list locally, the sweep claims pair leases from the
+// coordinator, executes only those, and merges the fleet-wide matrix.
+// Point N servers at one coordinator (which may be one of the N — a
+// server is always willing to coordinate, the flag only changes whose
+// table it works from) and a sweep submitted to each computes every pair
+// exactly once fleet-wide. Pair cells flow into the coordinator's shared
+// cache, so combine this with ServeWithCache pointing at the same
+// backend for warm restarts.
+func ServeWithFleet(coordinatorURL string) ServerOption {
+	return func(o *serverOptions) { o.fleetURL = coordinatorURL }
+}
+
 // NewServerHandler returns the HTTP side of the wire contract: an
 // http.Handler exposing backend under the versioned JSON API that Dial
 // speaks (analyze/testgen/check as request-response, sweeps as NDJSON
@@ -87,7 +102,7 @@ func NewServerHandler(backend Client, opts ...ServerOption) (http.Handler, error
 	for _, f := range opts {
 		f(&so)
 	}
-	s := &server{backend: backend, cache: so.backend, workers: so.workers, log: so.logger}
+	s := &server{backend: backend, cache: so.backend, workers: so.workers, log: so.logger, fleetURL: so.fleetURL}
 	if s.log == nil {
 		s.log = slog.Default()
 	}
@@ -97,6 +112,11 @@ func NewServerHandler(backend Client, opts ...ServerOption) (http.Handler, error
 			return nil, err
 		}
 	}
+	// Every server is willing to coordinate — the hub costs nothing until
+	// a worker claims — so which instance coordinates a given sweep is
+	// purely the fleet's choice of URL, not a deployment-time role.
+	s.hub = sweep.NewFleetHub(0, nil)
+	s.hub.SetCache(s.cache)
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET "+api.PathHealth, s.health)
 	mux.HandleFunc("GET "+api.PathSpecs, s.specs)
@@ -106,6 +126,9 @@ func NewServerHandler(backend Client, opts ...ServerOption) (http.Handler, error
 	mux.HandleFunc("POST "+api.PathSweep, s.sweep)
 	mux.HandleFunc("GET "+sweep.CacheRoutePrefix+"/{tier}/{key}", s.cacheGet)
 	mux.HandleFunc("PUT "+sweep.CacheRoutePrefix+"/{tier}/{key}", s.cachePut)
+	mux.HandleFunc("POST "+api.PathFleetClaim, s.fleetClaim)
+	mux.HandleFunc("POST "+api.PathFleetResult, s.fleetResult)
+	mux.HandleFunc("GET "+api.PathFleetStatus, s.fleetStatus)
 	mux.Handle("GET "+api.PathMetrics, obs.Handler(obs.Default))
 	if so.pprof {
 		// Mounted on this mux explicitly (the pprof package's init only
@@ -120,10 +143,12 @@ func NewServerHandler(backend Client, opts ...ServerOption) (http.Handler, error
 }
 
 type server struct {
-	backend Client
-	cache   sweep.Backend
-	workers int
-	log     *slog.Logger
+	backend  Client
+	cache    sweep.Backend
+	workers  int
+	log      *slog.Logger
+	hub      *sweep.FleetHub
+	fleetURL string
 }
 
 // HTTP-layer metrics, shared by every handler in the process so a scrape
@@ -398,6 +423,56 @@ func (s *server) cachePut(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// fleetClaim serves the coordinator side of fleet lease claims. Hub
+// errors here are usage errors (a claim naming no worker or no ops), so
+// they map to bad requests rather than server faults.
+func (s *server) fleetClaim(w http.ResponseWriter, r *http.Request) {
+	var req api.FleetClaimRequest
+	if !decodeRequest(w, r, &req, func() int { return req.Version }) {
+		return
+	}
+	resp, err := s.hub.Claim(req)
+	if err != nil {
+		writeError(w, api.Errorf(api.CodeBadRequest, "%v", err))
+		return
+	}
+	writeResult(w, r, resp, nil)
+}
+
+// fleetResult accepts completed pairs from fleet workers and writes
+// their cells through the shared cache. Posting into an unknown session
+// (coordinator restarted, or never claimed from) is a bad request: the
+// worker's next claim rebuilds the session and the pairs re-run.
+func (s *server) fleetResult(w http.ResponseWriter, r *http.Request) {
+	var req api.FleetResultRequest
+	if !decodeRequest(w, r, &req, func() int { return req.Version }) {
+		return
+	}
+	resp, err := s.hub.Report(req)
+	if err != nil {
+		writeError(w, api.Errorf(api.CodeBadRequest, "%v", err))
+		return
+	}
+	writeResult(w, r, resp, nil)
+}
+
+// fleetStatus reports one fleet sweep's progress; ?sweep= carries the
+// JSON FleetSweepSpec and ?results=1 asks for the merged PairResults
+// once the sweep is done.
+func (s *server) fleetStatus(w http.ResponseWriter, r *http.Request) {
+	sw, err := sweep.DecodeSweepParam(r.URL.Query().Get("sweep"))
+	if err != nil {
+		writeError(w, api.Errorf(api.CodeBadRequest, "%v", err))
+		return
+	}
+	resp, err := s.hub.Status(sw, r.URL.Query().Get("results") == "1")
+	if err != nil {
+		writeError(w, api.Errorf(api.CodeBadRequest, "%v", err))
+		return
+	}
+	writeResult(w, r, resp, nil)
+}
+
 func (s *server) specs(w http.ResponseWriter, r *http.Request) {
 	specs, err := s.backend.Specs(r.Context())
 	if err != nil {
@@ -449,6 +524,9 @@ func (s *server) sweep(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Options.Workers == 0 && s.workers > 0 {
 		opts = append(opts, WithWorkers(s.workers))
+	}
+	if s.fleetURL != "" {
+		opts = append(opts, WithFleet(s.fleetURL))
 	}
 
 	w.Header().Set("Content-Type", "application/x-ndjson")

@@ -44,6 +44,14 @@ const (
 	// PathMetrics is unversioned: Prometheus exposition carries its own
 	// format version in the scrape Content-Type.
 	PathMetrics = "/metrics"
+	// Fleet coordination routes (defined next to their scheduler in
+	// internal/sweep, same layering as the cache route): claim grants
+	// batches of pair leases with TTL + piggybacked renew/release, result
+	// posts completed PairResults, status reports fleet-wide progress and
+	// the merged results.
+	PathFleetClaim  = sweep.FleetClaimPath
+	PathFleetResult = sweep.FleetResultPath
+	PathFleetStatus = sweep.FleetStatusPath
 )
 
 // VersionHeader is set on every server response.
@@ -352,6 +360,34 @@ func (r *SweepResult) ToSweep() *sweep.Result {
 	}
 	return out
 }
+
+// Fleet wire types, defined in internal/sweep beside the lease table they
+// describe (this package imports sweep, not the other way around) and
+// aliased here so the golden files pin their encodings with the rest of
+// the v1 contract. Fleet requests stamp sweep.FleetAPIVersion, which
+// tracks Version (asserted by test).
+type (
+	// FleetSweepSpec is the fleet-wide identity of one sweep: spec,
+	// resolved op/kernel names, and every test-shaping option.
+	FleetSweepSpec = sweep.FleetSweepSpec
+	// FleetLease is one granted pair lease.
+	FleetLease = sweep.FleetLease
+	// FleetClaimRequest asks for pair leases (POST PathFleetClaim), with
+	// piggybacked lease renewal and release.
+	FleetClaimRequest = sweep.FleetClaimRequest
+	// FleetClaimResponse grants leases and reports sweep-wide state.
+	FleetClaimResponse = sweep.FleetClaimResponse
+	// FleetPairDone is one completed pair under its lease.
+	FleetPairDone = sweep.FleetPairDone
+	// FleetResultRequest posts completed pairs (POST PathFleetResult).
+	FleetResultRequest = sweep.FleetResultRequest
+	// FleetResultResponse acknowledges a result post.
+	FleetResultResponse = sweep.FleetResultResponse
+	// FleetWorkerStatus is one worker's view in the status report.
+	FleetWorkerStatus = sweep.FleetWorkerStatus
+	// FleetStatusResponse answers GET PathFleetStatus.
+	FleetStatusResponse = sweep.FleetStatusResponse
+)
 
 // CheckVersion validates a request's wire version.
 func CheckVersion(got int) *Error {

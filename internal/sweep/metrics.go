@@ -55,6 +55,29 @@ var (
 	metricCheckShardBorrows = obs.Default.Counter(
 		"commuter_check_shard_borrows_total",
 		"Extra worker permits borrowed by CHECK stages to replay setup groups in parallel.")
+	metricFleetLeasesIssued = obs.Default.Counter(
+		"commuter_fleet_leases_issued_total",
+		"Pair leases issued by this coordinator (including re-issues).")
+	metricFleetSteals = obs.Default.Counter(
+		"commuter_fleet_leases_stolen_total",
+		"Expired or released leases re-issued to another worker (work stealing).")
+	metricFleetRequeues = obs.Default.Counter(
+		"commuter_fleet_requeues_total",
+		"Leases released by their worker (cancellation) and returned to the pending queue.")
+	metricFleetDupResults = obs.Default.Counter(
+		"commuter_fleet_duplicate_results_total",
+		"Posted pair results dropped because the pair was already complete.")
+	metricFleetPairsExecuted = obs.Default.Counter(
+		"commuter_fleet_pairs_executed_total",
+		"Pairs this server executed under a fleet lease.")
+	metricFleetPairsLeased = obs.Default.GaugeVec(
+		"commuter_fleet_pairs_leased",
+		"Pair leases currently held, by worker (coordinator view).",
+		"worker")
+	metricFleetPairsDone = obs.Default.CounterVec(
+		"commuter_fleet_pairs_completed_total",
+		"Pairs completed, by worker (coordinator view).",
+		"worker")
 	metricSatCalls = obs.Default.Counter(
 		"commuter_solver_sat_calls_total",
 		"Backtracking satisfiability searches started by sweep pairs.")

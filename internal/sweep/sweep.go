@@ -98,6 +98,9 @@ type Config struct {
 	Progress func(Event)
 	// Artifact, when non-nil, receives one JSON line per finished pair.
 	Artifact io.Writer
+	// FleetWorker names this process to the fleet coordinator (RunFleet
+	// only); empty derives a host-pid-unique name.
+	FleetWorker string
 }
 
 // KernelCell is one kernel's aggregate verdict for one pair: how many of
@@ -666,12 +669,19 @@ func CheckTestsCtx(ctx context.Context, fresh func() kernel.Kernel, tests []kern
 // workerBudget is the pool-wide permit set shared between the pair-level
 // scheduler and the CHECK stage's intra-pair sharding. Capacity equals the
 // sweep's worker count: every running pair holds one base permit, and a
-// pair's CHECK stage may borrow however many permits are idle (pairs not
-// yet started, or finished) to replay its setup groups on parallel shards.
+// pair's CHECK stage may borrow permits that are idle (pairs not yet
+// started, or finished) to replay its setup groups on parallel shards.
 // Borrowers only tryAcquire — never block — while holding permits, so the
 // scheme cannot deadlock: the base permits alone guarantee progress.
+//
+// Borrowing is globally scheduled rather than per-pair greedy: checkers
+// counts the CHECK stages currently competing for idle permits, and each
+// borrower is capped at its fair share of the idle pool. Under the old
+// first-come-takes-all policy one hot pair could drain every idle permit
+// while an equally hot neighbor replayed single-threaded.
 type workerBudget struct {
-	sem chan struct{}
+	sem      chan struct{}
+	checkers atomic.Int32
 }
 
 func newWorkerBudget(n int) *workerBudget {
@@ -705,6 +715,28 @@ func (b *workerBudget) release(n int) {
 		<-b.sem
 	}
 }
+
+// borrow grabs up to want extra permits for a CHECK stage, capped at the
+// caller's fair share — ceil(idle / active checkers) — of the currently
+// idle pool. The reads are racy in the benign way schedulers tolerate: a
+// stale share only shifts how many shards a stage gets, never the summed
+// counts (shard aggregation is partition-independent) and never past the
+// pool's capacity (tryAcquire is the sole admission gate). Callers must
+// bracket the stage with enterCheck/exitCheck.
+func (b *workerBudget) borrow(want int) int {
+	n := int(b.checkers.Load())
+	if n < 1 {
+		n = 1
+	}
+	share := (cap(b.sem) - len(b.sem) + n - 1) / n
+	if want > share {
+		want = share
+	}
+	return b.tryAcquire(want)
+}
+
+func (b *workerBudget) enterCheck() { b.checkers.Add(1) }
+func (b *workerBudget) exitCheck()  { b.checkers.Add(-1) }
 
 // testGroup is a run of test cases sharing one initial state.
 type testGroup struct {
@@ -747,7 +779,9 @@ func checkTestsSharded(ctx context.Context, fresh func() kernel.Kernel, tests []
 	ngroups = len(groups)
 	extra := 0
 	if budget != nil && ngroups > 1 {
-		extra = budget.tryAcquire(ngroups - 1)
+		budget.enterCheck()
+		defer budget.exitCheck()
+		extra = budget.borrow(ngroups - 1)
 		defer budget.release(extra)
 		if extra > 0 {
 			metricCheckShardBorrows.Add(uint64(extra))
