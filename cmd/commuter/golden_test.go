@@ -1,9 +1,12 @@
 package main
 
 import (
+	"context"
+	"net/http/httptest"
 	"os"
 	"testing"
 
+	"repro/commuter"
 	"repro/internal/analyzer"
 	"repro/internal/eval"
 	"repro/internal/model"
@@ -36,5 +39,61 @@ func TestMatrixFSGolden(t *testing.T) {
 	}
 	if got != string(want) {
 		t.Errorf("matrix -ops fs rendering changed from golden\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestMatrixVMKVGolden pins `commuter matrix -spec vm` and `-spec kv`
+// byte-for-byte against golden files, through both client bindings: the
+// local in-process pipeline and a `commuter serve` loopback (the -server
+// flag's path). The two renderings must also match each other exactly —
+// the serve binding is pure transport, never a reinterpretation. Refresh
+// testdata/matrix_{vm,kv}.golden only for a deliberate semantic change to
+// the vm or kv spec, its concretizer, or its reference kernel.
+func TestMatrixVMKVGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full vm/kv matrices in -short mode")
+	}
+	ctx := context.Background()
+	h, err := commuter.NewServerHandler(commuter.Local())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	render := func(t *testing.T, cli commuter.Client, specName string) string {
+		t.Helper()
+		res, err := cli.Sweep(ctx, commuter.WithSpec(specName), commuter.WithTestsPerPath(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := ""
+		for _, m := range eval.MatricesFromSweep(res) {
+			got += eval.FormatMatrix(m) + "\n"
+		}
+		return got
+	}
+
+	for _, specName := range []string{"vm", "kv"} {
+		t.Run(specName, func(t *testing.T) {
+			want, err := os.ReadFile("testdata/matrix_" + specName + ".golden")
+			if err != nil {
+				t.Fatal(err)
+			}
+			local := render(t, commuter.Local(), specName)
+			if local != string(want) {
+				t.Errorf("matrix -spec %s rendering changed from golden\ngot:\n%s\nwant:\n%s",
+					specName, local, want)
+			}
+			remote, err := commuter.Dial(srv.URL)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer remote.Close()
+			if served := render(t, remote, specName); served != local {
+				t.Errorf("matrix -spec %s -server diverged from local\nserved:\n%s\nlocal:\n%s",
+					specName, served, local)
+			}
+		})
 	}
 }

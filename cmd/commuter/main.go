@@ -26,17 +26,21 @@
 // Every pipeline command takes -spec, selecting the modeled interface
 // specification from the registry (default "posix", the 18 POSIX calls;
 // "queue" is the §7.3 mail server's communication interface with its
-// memq reference implementation). The scalable commutativity rule is
-// about interfaces, not about POSIX — the same ANALYZE → TESTGEN → CHECK
-// layers run whichever spec is selected.
+// memq reference implementation; "vm" is the §5.2 virtual-memory
+// interface — mmap/munmap/mprotect/memread/memwrite over per-process
+// page mappings, checked on memvm; "kv" is an ordered key-value store —
+// get/put/delete/scan, checked on memkv). The scalable commutativity
+// rule is about interfaces, not about POSIX — the same ANALYZE → TESTGEN
+// → CHECK layers run whichever spec is selected.
 //
 // The -ops flag selects the operation universe within the spec: "all"
 // (every op), a spec-defined named subset (posix's "fs" is the 9
 // file-system metadata and descriptor calls — fast; queue has "ordered"
-// and "any"), or a comma-separated list (deduplicated, first appearance
-// wins). Every pipeline command takes -lowestfd to model POSIX's
-// lowest-FD rule instead of the O_ANYFD variant, reproducing the
-// lowest-FD column of Figure 6.
+// and "any", vm has "map" and "mem", kv has "point" and "range"), or a
+// comma-separated list (deduplicated, first appearance wins). Every
+// pipeline command takes -lowestfd to model POSIX's lowest-FD rule
+// instead of the O_ANYFD variant, reproducing the lowest-FD column of
+// Figure 6.
 //
 // The full 18-op matrix is dominated by the VM pairs; sweep fans the pairs
 // across a worker pool (-j, default all CPUs) and can persist per-pair
@@ -64,10 +68,12 @@ import (
 	"repro/commuter"
 	"repro/internal/api"
 	"repro/internal/eval"
-	_ "repro/internal/model"     // registers the "posix" spec
+	_ "repro/internal/kvspec" // registers the "kv" spec
+	_ "repro/internal/model"  // registers the "posix" spec
 	"repro/internal/obs"
 	_ "repro/internal/queuespec" // registers the "queue" spec
 	"repro/internal/spec"
+	_ "repro/internal/vmspec" // registers the "vm" spec
 )
 
 func main() {
@@ -354,6 +360,9 @@ func printTest(tc commuter.TestCase) {
 	for _, v := range tc.Setup.VMAs {
 		fmt.Printf("    vma p%d:page%d anon=%v wr=%v inode=%d foff=%d\n",
 			v.Proc, v.Page, v.Anon, v.Writable, v.Inum, v.Foff)
+	}
+	for _, kv := range tc.Setup.KVs {
+		fmt.Printf("    kv %d = %d\n", kv.Key, kv.Val)
 	}
 	fmt.Printf("  op0: %v\n  op1: %v\n", tc.Calls[0], tc.Calls[1])
 }

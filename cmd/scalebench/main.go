@@ -208,6 +208,20 @@ func runPerf(jsonPath, server, baseline string) error {
 	})
 	add("sym_analyze_testgen_open_open_ms", open2, "ms")
 
+	// The vm-spec sweep: the §5.2 virtual-memory universe (mmap, munmap,
+	// mprotect, memread, memwrite) on the memvm reference kernel, end to
+	// end through the same Client façade. Far smaller than the fs sweep,
+	// but it is the only record exercising a non-POSIX spec's full
+	// pipeline, so a regression here that the fs records miss points at
+	// the spec-dispatch plumbing rather than the shared engine.
+	vmStart := time.Now()
+	vmRes, err := cli.Sweep(context.Background(), commuter.WithSpec("vm"))
+	if err != nil {
+		return err
+	}
+	add("fig8_vm_sweep_wall_ms", float64(time.Since(vmStart))/1e6, "ms")
+	add("fig8_vm_sweep_tests", float64(vmRes.TotalTests()), "tests")
+
 	// The same sweep sharded across a two-member fleet behind an
 	// in-process HTTP coordinator: tracks the fleet path's end-to-end
 	// cost (lease round trips included) next to the single-member

@@ -3,6 +3,7 @@ package commuter_test
 import (
 	"context"
 	"errors"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -115,6 +116,34 @@ func TestLocalSpecs(t *testing.T) {
 	}
 	if _, ok := byName["queue"]; !ok {
 		t.Error("queue spec missing from discovery")
+	}
+	// The vm and kv interfaces ship with one reference implementation each
+	// and advertise their named op subsets, so /v1/specs is enough for a
+	// client to assemble any sweep invocation.
+	for name, want := range map[string]struct {
+		ops   int
+		sets  []string
+		impls []string
+	}{
+		"vm": {ops: 5, sets: []string{"map", "mem"}, impls: []string{"memvm"}},
+		"kv": {ops: 4, sets: []string{"point", "range"}, impls: []string{"memkv"}},
+	} {
+		in, ok := byName[name]
+		if !ok {
+			t.Errorf("%s spec missing from discovery", name)
+			continue
+		}
+		if len(in.Ops) != want.ops {
+			t.Errorf("%s: %d ops, want %d", name, len(in.Ops), want.ops)
+		}
+		for _, set := range want.sets {
+			if len(in.Sets[set]) == 0 {
+				t.Errorf("%s: named subset %q missing (have %v)", name, set, in.Sets)
+			}
+		}
+		if !reflect.DeepEqual(in.Impls, want.impls) {
+			t.Errorf("%s: impls %v, want %v", name, in.Impls, want.impls)
+		}
 	}
 }
 

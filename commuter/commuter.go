@@ -40,7 +40,9 @@ import (
 	"repro/internal/kernel/monokernel"
 	"repro/internal/kernel/svsix"
 	"repro/internal/model"
+	_ "repro/internal/kvspec"    // registers the "kv" spec
 	_ "repro/internal/queuespec" // registers the "queue" spec
+	_ "repro/internal/vmspec"    // registers the "vm" spec
 	"repro/internal/spec"
 	"repro/internal/sweep"
 	"repro/internal/testgen"

@@ -28,6 +28,7 @@ func sampleTest() kernel.TestCase {
 			Pipes:  []kernel.SetupPipe{{ID: 2, Items: []int64{5}}},
 			VMAs:   []kernel.SetupVMA{{Proc: 0, Page: 8, Anon: true, Val: 3, Writable: true}},
 			Queues: []kernel.SetupQueue{{Core: -1, Items: []int64{9, 10}}},
+			KVs:    []kernel.SetupKV{{Key: 1, Val: 2}},
 		},
 		Calls: [2]kernel.Call{
 			{Op: "rename", Proc: 0, Args: map[string]int64{"old": 0, "new": 1}},
@@ -52,6 +53,12 @@ func goldenCases() map[string]any {
 		StartMS:   2.25,
 		Phases:    sweep.PhaseTimes{AnalyzeMS: 1.5, TestgenMS: 2.25, CheckMS: 8, SolverMS: 0.75},
 		Solver:    sweep.SolverCounters{SatCalls: 37, BudgetHits: 1, InternHits: 1065},
+	}
+	vmPair := sweep.PairResult{
+		OpA: "mmap", OpB: "munmap", Tests: 4,
+		Cells:     []sweep.KernelCell{{Kernel: "memvm", Total: 4, Conflicts: 1}},
+		ElapsedMS: 3.5,
+		Phases:    sweep.PhaseTimes{AnalyzeMS: 1, TestgenMS: 0.5, CheckMS: 2},
 	}
 	return map[string]any{
 		"error": &Error{Code: CodeBadRequest, Message: `unknown spec "posxi" (known specs: posix, queue)`},
@@ -91,6 +98,12 @@ func goldenCases() map[string]any {
 			CacheWriteErrors: 1,
 		}},
 		"frame_error": &Frame{Type: FrameError, Error: &Error{Code: CodeCanceled, Message: "context canceled"}},
+		// One non-POSIX spec's result frame: pins that a vm pair result —
+		// an implementation cell naming the memvm reference kernel under
+		// the "vm" spec identity — rides the same v1 encoding.
+		"frame_result_vm": &Frame{Type: FrameResult, Result: &SweepResult{
+			Spec: "vm", Pairs: []sweep.PairResult{vmPair}, Workers: 2, ElapsedMS: 4.25,
+		}},
 		"fleet_claim_request": &FleetClaimRequest{Version: Version, Worker: "host-a-8372", Max: 4,
 			Sweep: FleetSweepSpec{Spec: "posix", Ops: []string{"open", "rename"}, Kernels: []string{"linux", "sv6"},
 				LowestFD: true, TestgenLowestFD: true, MaxPaths: 128, MaxTestsPerPath: 2},

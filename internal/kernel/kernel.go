@@ -138,10 +138,17 @@ type SetupQueue struct {
 	Items []int64
 }
 
+// SetupKV seeds one key of the kv spec's reference store with a present
+// binding.
+type SetupKV struct {
+	Key int64
+	Val int64
+}
+
 // Setup is the concrete initial state of a test case. The fs/VM fields
 // are consumed by the POSIX kernels; Queues by the queue spec's reference
-// implementation — each implementation ignores the fields of interfaces
-// it does not provide.
+// implementation; KVs by the kv spec's — each implementation ignores the
+// fields of interfaces it does not provide.
 type Setup struct {
 	Files  []SetupFile
 	Inodes []SetupInode
@@ -149,6 +156,7 @@ type Setup struct {
 	Pipes  []SetupPipe
 	VMAs   []SetupVMA
 	Queues []SetupQueue `json:",omitempty"`
+	KVs    []SetupKV    `json:",omitempty"`
 }
 
 // Fingerprint returns a canonical content-address of the setup: two setups
@@ -190,6 +198,9 @@ func (s Setup) Fingerprint() string {
 	}
 	for _, q := range s.Queues {
 		fmt.Fprintf(&b, "Q%d=%v;", q.Core, q.Items)
+	}
+	for _, kv := range s.KVs {
+		fmt.Fprintf(&b, "K%d=%d;", kv.Key, kv.Val)
 	}
 	return b.String()
 }

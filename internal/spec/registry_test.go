@@ -4,15 +4,19 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/kvspec"
 	"repro/internal/model"
 	"repro/internal/queuespec"
 	"repro/internal/spec"
+	"repro/internal/vmspec"
 )
 
-// TestRegisteredSpecs pins the two shipped registrations.
+// TestRegisteredSpecs pins the four shipped registrations, and that the
+// unknown-spec error (the text `commuter analyze -spec bogus` prints, and
+// the names GET /v1/specs serves) lists every one of them.
 func TestRegisteredSpecs(t *testing.T) {
 	names := spec.Names()
-	want := map[string]bool{"posix": false, "queue": false}
+	want := map[string]bool{"posix": false, "queue": false, "vm": false, "kv": false}
 	for _, n := range names {
 		if _, ok := want[n]; ok {
 			want[n] = true
@@ -23,13 +27,46 @@ func TestRegisteredSpecs(t *testing.T) {
 			t.Errorf("spec %q not registered (have %v)", n, names)
 		}
 	}
-	if _, err := spec.Lookup("posix"); err != nil {
-		t.Errorf("Lookup(posix): %v", err)
+	for n := range want {
+		if _, err := spec.Lookup(n); err != nil {
+			t.Errorf("Lookup(%s): %v", n, err)
+		}
 	}
 	if _, err := spec.Lookup("nope"); err == nil {
 		t.Error("Lookup(nope) did not error")
-	} else if !strings.Contains(err.Error(), "posix") || !strings.Contains(err.Error(), "queue") {
-		t.Errorf("Lookup(nope) error %q does not list known specs", err)
+	} else {
+		for n := range want {
+			if !strings.Contains(err.Error(), n) {
+				t.Errorf("Lookup(nope) error %q does not list spec %q", err, n)
+			}
+		}
+	}
+}
+
+// TestSpecNamedSubsets pins that every registered spec exposes named op
+// subsets whose members resolve within the spec — the discoverability
+// contract behind /v1/specs and the -ops flag help.
+func TestSpecNamedSubsets(t *testing.T) {
+	for _, sp := range []spec.Spec{model.Spec, queuespec.Spec, vmspec.Spec, kvspec.Spec} {
+		sets := sp.Sets()
+		if len(sets) == 0 {
+			t.Errorf("%s: no named op subsets", sp.Name())
+		}
+		for name, members := range sets {
+			if len(members) == 0 {
+				t.Errorf("%s: subset %q is empty", sp.Name(), name)
+			}
+			for _, opName := range members {
+				if _, err := spec.OpByName(sp, opName); err != nil {
+					t.Errorf("%s: subset %q member %s: %v", sp.Name(), name, opName, err)
+				}
+			}
+		}
+		if ds := sp.DefaultSet(); ds != "all" {
+			if _, ok := sets[ds]; !ok {
+				t.Errorf("%s: default set %q not in Sets()", sp.Name(), ds)
+			}
+		}
 	}
 }
 
@@ -38,7 +75,7 @@ func TestRegisteredSpecs(t *testing.T) {
 // the full op universe (the nil-deref fix: lookups now fail loudly with
 // guidance instead of returning nil).
 func TestOpByNameRoundTrip(t *testing.T) {
-	for _, sp := range []spec.Spec{model.Spec, queuespec.Spec} {
+	for _, sp := range []spec.Spec{model.Spec, queuespec.Spec, vmspec.Spec, kvspec.Spec} {
 		ops := sp.Ops()
 		if len(ops) == 0 {
 			t.Fatalf("%s: no ops", sp.Name())
@@ -79,6 +116,18 @@ func TestOpSetSelectors(t *testing.T) {
 	}
 	if ops, err := spec.OpSet(queuespec.Spec, "ordered"); err != nil || len(ops) != 3 {
 		t.Errorf(`queue "ordered" = %d ops, err %v; want 3`, len(ops), err)
+	}
+	if ops, err := spec.OpSet(vmspec.Spec, "all"); err != nil || len(ops) != 5 {
+		t.Errorf(`vm "all" = %d ops, err %v; want 5`, len(ops), err)
+	}
+	if ops, err := spec.OpSet(vmspec.Spec, "mem"); err != nil || len(ops) != 2 {
+		t.Errorf(`vm "mem" = %d ops, err %v; want 2`, len(ops), err)
+	}
+	if ops, err := spec.OpSet(kvspec.Spec, "all"); err != nil || len(ops) != 4 {
+		t.Errorf(`kv "all" = %d ops, err %v; want 4`, len(ops), err)
+	}
+	if ops, err := spec.OpSet(kvspec.Spec, "point"); err != nil || len(ops) != 3 {
+		t.Errorf(`kv "point" = %d ops, err %v; want 3`, len(ops), err)
 	}
 	ops, err := spec.OpSet(model.Spec, "open, rename ,open")
 	if err != nil || len(ops) != 2 || ops[0].Name != "open" || ops[1].Name != "rename" {
